@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every file in this directory regenerates one table or figure from the
+thesis's evaluation. Each bench:
+
+* computes the quantity with the library (timed via pytest-benchmark);
+* prints a paper-vs-measured table so ``pytest benchmarks/
+  --benchmark-only -s`` doubles as the experiment log that
+  EXPERIMENTS.md summarizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a small fixed-width table to stdout."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer (simulations
+    are deterministic; repeated rounds only waste wall-clock)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,67 @@
+"""§5.1 headline claims: the recorder "can support a system of up to 115
+users", the worst-case 2.76 MB of checkpoint + message storage, and the
+1 s - 2 min checkpoint-interval range."""
+
+import pytest
+
+from repro.queueing import OPERATING_POINTS, capacity_in_users, capacity_in_nodes
+from repro.queueing.capacity import (
+    bottleneck,
+    checkpoint_interval_extremes,
+    storage_requirement_bytes,
+)
+
+from conftest import once, print_table
+
+
+def test_capacity_115_users(benchmark):
+    point = OPERATING_POINTS["mean"]
+    users = once(benchmark, capacity_in_users, point)
+    binding = bottleneck(point, users)
+    print_table("§5.1 — recorder user capacity at the mean operating point",
+                ["quantity", "paper", "measured"],
+                [["max users", 115, users],
+                 ["binding resource", "recorder", f"recorder {binding}"],
+                 ["capacity in 20-user nodes", "≥ 5", f"{users / 20:.1f}"]])
+    assert 110 <= users <= 120
+    assert binding == "cpu"
+
+
+def test_capacity_per_operating_point(benchmark):
+    def sweep():
+        return [(name, capacity_in_users(p), capacity_in_nodes(p),
+                 capacity_in_nodes(p, buffered=False))
+                for name, p in sorted(OPERATING_POINTS.items())]
+
+    rows = once(benchmark, sweep)
+    print_table("Capacity by operating point",
+                ["point", "users", "nodes (buffered)", "nodes (raw writes)"],
+                [[n, u, f"{nb:.2f}", f"{nr:.2f}"] for n, u, nb, nr in rows])
+    by_name = {r[0]: r for r in rows}
+    assert by_name["mean"][2] >= 5.0                       # ≥5 nodes viable
+    assert 3.0 <= by_name["max_message_rate"][2] <= 4.5    # saturates >3
+
+
+def test_storage_requirement(benchmark):
+    def worst():
+        return max((storage_requirement_bytes(p, nodes=5), name)
+                   for name, p in OPERATING_POINTS.items())
+
+    worst_bytes, name = once(benchmark, worst)
+    print_table("§5.1 — worst-case checkpoint + message storage (5 nodes)",
+                ["quantity", "paper", "measured"],
+                [["storage (MB)", 2.76, f"{worst_bytes / 1e6:.2f}"],
+                 ["operating point", "max state sizes", name]])
+    assert worst_bytes == pytest.approx(2.76e6, rel=0.05)
+
+
+def test_checkpoint_interval_range(benchmark):
+    shortest, longest = once(benchmark, checkpoint_interval_extremes)
+    print_table("§5.1 — checkpoint interval extremes under the storage-"
+                "balance policy",
+                ["case", "paper", "measured"],
+                [["4 KB process, high msg rate", "~1 s", f"{shortest:.1f} s"],
+                 ["64 KB process, low msg rate", "~2 min",
+                  f"{longest:.0f} s"]])
+    assert shortest == pytest.approx(1.0, rel=0.1)
+    assert 100 <= longest <= 140

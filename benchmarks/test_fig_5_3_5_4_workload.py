@@ -1,0 +1,58 @@
+"""Figures 5.3 and 5.4 — the workload inputs to the queuing model.
+
+Figure 5.3: the distribution of UNIX process state sizes (4-64 KB,
+skewed small). Figure 5.4: the four operating points (mean plus the
+three per-parameter maxima). Both are reconstructions calibrated to the
+narrative's quantitative statements (see repro/queueing/workload.py).
+"""
+
+import pytest
+
+from repro.queueing import OPERATING_POINTS, StateSizeDistribution, checkpoint_traffic
+from repro.sim.rng import RngStreams
+
+from conftest import once, print_table
+
+
+def test_fig_5_3_state_size_distribution(benchmark):
+    dist = StateSizeDistribution()
+    samples = once(benchmark, dist.sample_many, 10_000, RngStreams(1983))
+    counts = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    rows = [[f"{kb} KB", f"{100 * p:.0f}%",
+             f"{100 * counts.get(kb, 0) / len(samples):.1f}%"]
+            for kb, p in dist.TABLE]
+    print_table("Figure 5.3 — state sizes for UNIX processes "
+                "(reconstructed pmf vs 10k samples)",
+                ["state size", "pmf", "sampled"], rows)
+    print(f"mean state size: {dist.mean_kb():.1f} KB")
+    assert 4 <= dist.mean_kb() <= 64
+    assert counts[4] == max(counts.values())
+
+
+def test_fig_5_4_operating_points(benchmark):
+    def table():
+        rows = []
+        for name, p in sorted(OPERATING_POINTS.items()):
+            ckpt_pkts, _ = checkpoint_traffic(p)
+            rows.append([name, p.short_rate, p.long_rate,
+                         f"{ckpt_pkts:.2f}", p.load_average,
+                         p.mean_state_kb,
+                         f"{p.short_rate + p.long_rate + ckpt_pkts:.1f}"])
+        return rows
+
+    rows = once(benchmark, table)
+    print_table("Figure 5.4 — operating points (per user per second; "
+                "reconstructed)",
+                ["point", "short msgs/s", "long msgs/s", "ckpt msgs/s",
+                 "load avg", "state KB", "total pkts/s"], rows)
+    mean = OPERATING_POINTS["mean"]
+    maxima = [OPERATING_POINTS[k] for k in
+              ("max_load_average", "max_state_sizes", "max_message_rate")]
+    # Each maximum dominates the mean on its own axis.
+    assert OPERATING_POINTS["max_load_average"].load_average > mean.load_average
+    assert OPERATING_POINTS["max_state_sizes"].mean_state_kb > mean.mean_state_kb
+    assert (OPERATING_POINTS["max_message_rate"].short_rate
+            + OPERATING_POINTS["max_message_rate"].long_rate
+            > mean.short_rate + mean.long_rate)

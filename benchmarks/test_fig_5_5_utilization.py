@@ -1,0 +1,112 @@
+"""Figure 5.5 — percent utilization of the three system components
+(disk, recorder CPU, network) for 1-5 processing nodes and 1-3 disks at
+each operating point, solved analytically and cross-checked by DES.
+
+Paper claims reproduced here:
+
+* the system "stayed within physical limits" at the mean point for all
+  5 nodes;
+* per-message disk writes saturate at the maximum message rate, "removed
+  by allowing messages to be written out in 4k byte buffers";
+* the max-message-rate point saturates "when more than 3 processing
+  nodes are attached".
+"""
+
+import pytest
+
+from repro.queueing import OPERATING_POINTS, OpenQueueingModel, simulate_model
+
+from conftest import once, print_table
+
+
+def sweep_point(point, buffered=True):
+    rows = []
+    for disks in (1, 2, 3):
+        for nodes in (1, 2, 3, 4, 5):
+            model = OpenQueueingModel(point=point, nodes=nodes, disks=disks,
+                                      buffered_writes=buffered)
+            utils = model.utilizations()
+            rows.append([disks, nodes,
+                         f"{100 * utils['network']:.1f}%",
+                         f"{100 * utils['cpu']:.1f}%",
+                         f"{100 * utils['disk']:.1f}%",
+                         "SATURATED" if not model.stable() else ""])
+    return rows
+
+
+@pytest.mark.parametrize("name", sorted(OPERATING_POINTS))
+def test_fig_5_5_utilization_sweep(benchmark, name):
+    point = OPERATING_POINTS[name]
+    rows = once(benchmark, sweep_point, point)
+    print_table(f"Figure 5.5 — utilization at operating point '{name}' "
+                f"(buffered writes)",
+                ["disks", "nodes", "network", "recorder CPU", "disk", ""],
+                rows)
+    mean_model = OpenQueueingModel(point=OPERATING_POINTS["mean"],
+                                   nodes=5, disks=1)
+    assert mean_model.stable(), "mean point must be viable at 5 nodes"
+
+
+def test_fig_5_5_des_cross_check(benchmark):
+    """The independent discrete-event simulation agrees with the
+    analytic utilizations (first moments)."""
+    point = OPERATING_POINTS["mean"]
+    model = OpenQueueingModel(point=point, nodes=5, disks=1)
+
+    sim = once(benchmark, simulate_model, model, 60_000.0)
+    analytic = model.utilizations()
+    rows = [[name, f"{100 * analytic[name]:.1f}%",
+             f"{100 * sim.utilizations[name]:.1f}%"]
+            for name in ("network", "cpu", "disk")]
+    print_table("Figure 5.5 cross-check — analytic vs DES (mean, 5 nodes)",
+                ["station", "analytic", "simulated"], rows)
+    print(f"max recorder buffer observed: {sim.max_buffer_bytes} bytes "
+          f"(paper: at most 28k)")
+    for name in ("network", "cpu", "disk"):
+        assert sim.utilizations[name] == pytest.approx(analytic[name], rel=0.1)
+    assert sim.max_buffer_bytes < 28 * 1024
+
+
+def test_fig_5_5_disk_saturation_and_buffering_fix(benchmark):
+    """§5.1: "the saturation of the disk system used with the maximum
+    long message rate ... was removed by allowing messages to be written
+    out in 4k byte buffers"."""
+    point = OPERATING_POINTS["max_message_rate"]
+
+    def measure():
+        raw = OpenQueueingModel(point=point, nodes=2,
+                                buffered_writes=False).utilizations()["disk"]
+        fixed = OpenQueueingModel(point=point, nodes=2,
+                                  buffered_writes=True).utilizations()["disk"]
+        return raw, fixed
+
+    raw, fixed = once(benchmark, measure)
+    print_table("Disk write policy at max message rate, 2 nodes",
+                ["policy", "disk utilization"],
+                [["one write per message", f"{100 * raw:.1f}%"],
+                 ["4 KB buffered pages", f"{100 * fixed:.1f}%"]])
+    assert raw >= 1.0 and fixed < 1.0
+
+
+def test_fig_5_5_saturation_onset_at_max_rate(benchmark):
+    """All three subsystems saturate a little past 3 nodes."""
+    point = OPERATING_POINTS["max_message_rate"]
+
+    def onset():
+        out = {}
+        for station in ("network", "cpu", "disk"):
+            for nodes in range(1, 10):
+                model = OpenQueueingModel(point=point, nodes=nodes, disks=1)
+                if model.utilizations()[station] >= 1.0:
+                    out[station] = nodes
+                    break
+            else:
+                out[station] = None
+        return out
+
+    saturation = once(benchmark, onset)
+    print_table("Saturation onset at max message rate (nodes of 20 users)",
+                ["station", "saturates at N nodes", "paper"],
+                [[s, saturation[s], "> 3"] for s in saturation])
+    for station, nodes in saturation.items():
+        assert nodes is not None and nodes > 3

@@ -1,0 +1,44 @@
+"""Figure 5.6/5.7 — per-message overheads of publishing.
+
+The measurement program (Figure 5.6 verbatim): a process sends a message
+to itself and receives it, 512 times; real time and kernel CPU time are
+read before and after. Paper numbers: without publishing ≈ 9 ms CPU /
+10 ms real per iteration; with publishing ≈ 35 ms CPU (the protocol's
+additional 26 ms) / 38 ms real (2 ms of which is network transmission).
+"""
+
+import pytest
+
+from repro.metrics import measure_send_to_self
+
+from conftest import once, print_table
+
+ITERATIONS = 512
+
+
+def test_fig_5_7_per_message_overheads(benchmark):
+    def both():
+        return (measure_send_to_self(publishing=False, iterations=ITERATIONS),
+                measure_send_to_self(publishing=True, iterations=ITERATIONS))
+
+    without, with_pub = once(benchmark, both)
+    print_table(
+        f"Figure 5.7 — send-to-self × {ITERATIONS} (per iteration)",
+        ["version", "paper real (ms)", "measured real",
+         "paper CPU (ms)", "measured CPU"],
+        [
+            ["with publishing", 38,
+             f"{with_pub['real_ms_per_iter']:.2f}",
+             35, f"{with_pub['kernel_cpu_ms_per_iter']:.2f}"],
+            ["without publishing", 10,
+             f"{without['real_ms_per_iter']:.2f}",
+             9, f"{without['kernel_cpu_ms_per_iter']:.2f}"],
+        ])
+    delta_cpu = (with_pub["kernel_cpu_ms_per_iter"]
+                 - without["kernel_cpu_ms_per_iter"])
+    print(f"protocol CPU tax: paper 26 ms, measured {delta_cpu:.2f} ms")
+    assert without["kernel_cpu_ms_per_iter"] == pytest.approx(9.0, abs=0.3)
+    assert without["real_ms_per_iter"] == pytest.approx(10.0, abs=0.4)
+    assert with_pub["kernel_cpu_ms_per_iter"] == pytest.approx(35.0, abs=0.4)
+    assert with_pub["real_ms_per_iter"] == pytest.approx(38.0, abs=0.5)
+    assert delta_cpu == pytest.approx(26.0, abs=0.3)

@@ -1,0 +1,53 @@
+"""End-to-end recovery time vs replay volume — validating the §3.2.3
+model shape against the full DEMOS/MP stack.
+
+The thesis's bound says recovery time grows linearly in the number of
+messages to replay (plus a fixed reload term). Here we crash a process
+at increasing distances past its last checkpoint, measure the simulated
+wall-clock from crash report to recovery completion, and check the
+monotone-linear shape. A second bench shows the flip side: checkpoints
+bound recovery time regardless of history length.
+"""
+
+import pytest
+
+from _support import measure_recovery_time
+from conftest import once, print_table
+
+
+def test_recovery_time_scales_with_replay_volume(benchmark):
+    def sweep():
+        rows = []
+        for since_checkpoint in (5, 20, 60):
+            duration, replayed = measure_recovery_time(
+                messages_before_checkpoint=5,
+                messages_after_checkpoint=since_checkpoint)
+            rows.append((since_checkpoint, replayed, duration))
+        return rows
+
+    rows = once(benchmark, sweep)
+    print_table("Recovery time vs messages since last checkpoint",
+                ["msgs since ckpt", "replayed", "recovery time (sim ms)"],
+                [[n, r, f"{d:.0f}"] for n, r, d in rows])
+    durations = [d for _, _, d in rows]
+    assert durations == sorted(durations)          # monotone
+    # Linear-ish: the 60-message recovery costs far less than 12x the
+    # 5-message one (fixed costs amortize) but clearly more in total.
+    assert durations[-1] > durations[0]
+
+
+def test_checkpoints_bound_recovery_time(benchmark):
+    def pair():
+        with_ckpt, _ = measure_recovery_time(
+            messages_before_checkpoint=60, messages_after_checkpoint=5)
+        without_ckpt, _ = measure_recovery_time(
+            messages_before_checkpoint=0, messages_after_checkpoint=65,
+            skip_checkpoint=True)
+        return with_ckpt, without_ckpt
+
+    with_ckpt, without_ckpt = once(benchmark, pair)
+    print_table("Checkpointing bounds recovery (65-message history)",
+                ["configuration", "recovery time (sim ms)"],
+                [["checkpoint after 60 msgs", f"{with_ckpt:.0f}"],
+                 ["no checkpoint (replay all)", f"{without_ckpt:.0f}"]])
+    assert with_ckpt < without_ckpt

@@ -1,0 +1,84 @@
+"""Transactions without stable storage (§6.4).
+
+A two-branch bank runs transfers under two-phase commit. The twist from
+the thesis: the branches and the coordinator keep their intention lists
+and transaction state in *plain process memory* — no stable storage
+anywhere except the publishing recorder's. We crash a branch and the
+coordinator mid-protocol; every transfer still commits or aborts
+atomically, with balances conserved.
+
+Run:  python examples/bank_transactions.py
+"""
+
+from repro import System, SystemConfig
+from repro.txn import (
+    COORDINATOR_IMAGE,
+    RESOURCE_IMAGE,
+    ResourceManager,
+    TransactionCoordinator,
+    TxnClient,
+)
+
+
+def main():
+    system = System(SystemConfig(nodes=2))
+    system.registry.register(RESOURCE_IMAGE, ResourceManager)
+    system.registry.register(COORDINATOR_IMAGE, TransactionCoordinator)
+    system.registry.register("bank/teller", TxnClient)
+    system.boot()
+
+    downtown = system.spawn_program(
+        RESOURCE_IMAGE, args=(((("alice"), 500), (("carol"), 200)),), node=1)
+    uptown = system.spawn_program(
+        RESOURCE_IMAGE, args=(((("bob"), 100),),), node=2)
+    coordinator = system.spawn_program(
+        COORDINATOR_IMAGE, args=((tuple(downtown), tuple(uptown)),), node=1)
+    system.run(300)
+
+    transfers = [
+        ("rent", ((0, "debit", "alice", 120), (1, "credit", "bob", 120))),
+        ("loan", ((1, "debit", "bob", 50), (0, "credit", "carol", 50))),
+        ("too-big", ((0, "debit", "carol", 9999),
+                     (1, "credit", "bob", 9999))),      # must abort
+        ("gift", ((0, "debit", "alice", 30), (1, "credit", "bob", 30))),
+        ("fees", ((0, "debit", "carol", 10), (1, "credit", "bob", 10))),
+    ]
+    teller = system.spawn_program("bank/teller",
+                                  args=(tuple(coordinator), tuple(transfers)),
+                                  node=2)
+    print("bank open: downtown {alice: 500, carol: 200}, uptown {bob: 100}")
+
+    system.run(140)
+    print("--- uptown branch crashes mid-protocol ---")
+    system.crash_process(uptown)
+    system.run(60)
+    print("--- the coordinator crashes too ---")
+    system.crash_process(coordinator)
+
+    while True:
+        client = system.program_of(teller)
+        if client is not None and len(client.outcomes) >= len(transfers):
+            break
+        system.run(1000)
+
+    outcomes = system.program_of(teller).outcomes
+    down = system.program_of(downtown).data
+    up = system.program_of(uptown).data
+    print("\ntransaction outcomes:")
+    for (name, _), (verdict, txn_id) in zip(transfers, outcomes):
+        print(f"  {name:<8} -> {verdict} (txn {txn_id})")
+    print(f"\nfinal balances: downtown {down}, uptown {up}")
+    total = sum(down.values()) + sum(up.values())
+    print(f"money conserved: {total} == 800: {total == 800}")
+    print(f"pending intentions left anywhere: "
+          f"{system.program_of(downtown).intentions or system.program_of(uptown).intentions}")
+
+    assert [o[0] for o in outcomes] == [
+        "committed", "committed", "aborted", "committed", "committed"]
+    assert down == {"alice": 350, "carol": 240}
+    assert up == {"bob": 210}
+    assert total == 800
+
+
+if __name__ == "__main__":
+    main()

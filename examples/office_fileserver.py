@@ -1,0 +1,125 @@
+"""The automated-office motivator (Chapter 1, the XEROX STAR figure).
+
+An office file server holds documents; secretaries' and engineers'
+workstations append edits through the named-link server rendezvous (the
+real DEMOS pattern: the server registers a link, clients look it up).
+The file-server node is then crashed. Publishing recovers the server —
+checkpoint restore plus replay — and no edit is lost, duplicated, or
+reordered, even the ones typed while the server was dead.
+
+Run:  python examples/office_fileserver.py
+"""
+
+from repro import GeneratorProgram, Program, Recv, System, SystemConfig
+
+
+class FileServer(Program):
+    """Documents as append-only edit lists, served over links."""
+
+    def __init__(self):
+        super().__init__()
+        self.documents = {}
+        self.edits_applied = 0
+
+    def setup(self, ctx):
+        service = ctx.create_link(channel=0)
+        ctx.send(1, ("register", "file_server"), pass_link_id=service)
+
+    def on_message(self, ctx, m):
+        body = m.body
+        if not isinstance(body, tuple):
+            return
+        if body[0] == "append":
+            _, name, text = body
+            self.documents.setdefault(name, []).append(text)
+            self.edits_applied += 1
+            if m.passed_link_id is not None:
+                ctx.send(m.passed_link_id,
+                         ("saved", name, len(self.documents[name])))
+        elif body[0] == "read" and m.passed_link_id is not None:
+            ctx.send(m.passed_link_id,
+                     ("contents", body[1],
+                      tuple(self.documents.get(body[1], ()))))
+
+
+class Workstation(GeneratorProgram):
+    """A user's machine: looks up the file server, appends edits."""
+
+    def __init__(self, user, document, lines):
+        super().__init__()
+        self.user = user
+        self.document = document
+        self.lines = tuple(lines)
+        self.acks = []
+
+    def run(self, ctx):
+        lookup = ctx.create_link(channel=3)
+        ctx.send(1, ("lookup", "file_server"), pass_link_id=lookup)
+        m = yield Recv.on(3)
+        server = m.passed_link_id
+        for line in self.lines:
+            reply = ctx.create_link(channel=4)
+            ctx.send(server, ("append", self.document,
+                              f"{self.user}: {line}"), pass_link_id=reply)
+            m = yield Recv.on(4)
+            self.acks.append(m.body[2])
+
+
+def main():
+    system = System(SystemConfig(nodes=3))
+    system.registry.register("office/file_server", FileServer)
+    system.registry.register("office/workstation", Workstation)
+    system.boot()
+
+    server = system.spawn_program("office/file_server", node=3,
+                                  state_pages=8)
+    users = [
+        ("alice", "quarterly-report", [f"paragraph {i}" for i in range(1, 21)]),
+        ("bob", "quarterly-report", [f"figure {i}" for i in range(1, 15)]),
+        ("carol", "memo", [f"item {i}" for i in range(1, 13)]),
+    ]
+    stations = [system.spawn_program("office/workstation",
+                                     args=user, node=1 + i % 2)
+                for i, user in enumerate(users)]
+    print("file server on node 3; workstations on nodes 1 and 2")
+
+    system.run(900)
+    served = system.program_of(server)
+    print(f"t={system.engine.now:.0f} ms: {served.edits_applied} edits "
+          f"applied; checkpointing the server")
+    system.checkpoint(server)
+    system.run(400)
+
+    print("\n--- crashing the file-server node ---")
+    system.crash_node(3)
+
+    total_lines = sum(len(u[2]) for u in users)
+    while True:
+        done = all(len(system.program_of(s).acks)
+                   == len(users[i][2]) for i, s in enumerate(stations))
+        if done and system.process_state(server) == "running":
+            break
+        system.run(1000)
+
+    served = system.program_of(server)
+    report = served.documents["quarterly-report"]
+    memo = served.documents["memo"]
+    print(f"\nall {total_lines} edits acknowledged")
+    print(f"'quarterly-report': {len(report)} lines; 'memo': {len(memo)} lines")
+    alice_lines = [l for l in report if l.startswith("alice:")]
+    print(f"alice's paragraphs in order: "
+          f"{alice_lines == [f'alice: paragraph {i}' for i in range(1, 21)]}")
+    print(f"no duplicates: {len(report) == len(set(report))}")
+    print(f"recoveries completed: "
+          f"{system.recovery.stats.recoveries_completed}")
+    assert len(report) + len(memo) == total_lines
+    assert len(set(report)) == len(report)
+    # Per-user acks are the document lengths they observed: strictly
+    # increasing — nothing was lost or applied twice.
+    for i, station in enumerate(stations):
+        acks = system.program_of(station).acks
+        assert acks == sorted(acks)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Replay debugging from the published log (§6.5).
+
+"One of the great problems of distributed debugging ... is finding out
+what happened after the fact." Here a stateful pricing service develops
+a (deliberate) bug that only corrupts its state after a particular input
+pattern. Long after the damage is done, we attach the replay debugger to
+the recorder's log, re-execute the service's history offline, and find
+the exact step — and message — where the state first went wrong.
+
+Run:  python examples/replay_debugging.py
+"""
+
+from repro import Program, System, SystemConfig
+from repro.debugger import ReplayDebugger
+from repro.demos.ids import ProcessId
+from repro.demos.links import Link
+
+
+class PricingService(Program):
+    """Tracks a running price; has a subtle bug: a 'rebate' applied
+    when the price is below 20 *subtracts twice*."""
+
+    def __init__(self):
+        super().__init__()
+        self.price = 100
+        self.history = []
+
+    def on_message(self, ctx, m):
+        body = m.body
+        if not isinstance(body, tuple):
+            return
+        op, amount = body
+        if op == "raise":
+            self.price += amount
+        elif op == "discount":
+            self.price -= amount
+        elif op == "rebate":
+            self.price -= amount
+            if self.price < 20:          # the bug: double-apply
+                self.price -= amount
+        self.history.append(self.price)
+
+
+class Trader(Program):
+    """Feeds a scripted sequence of pricing operations."""
+
+    def __init__(self, service_pid, script):
+        super().__init__()
+        self.service_pid = tuple(service_pid)
+        self.script = tuple(script)
+
+    def attach_kernel(self, kernel):
+        self._ctx_kernel = kernel
+
+    def setup(self, ctx):
+        pcb = self._ctx_kernel.processes[ctx.pid]
+        link = self._ctx_kernel.forge_link(
+            pcb, Link(dst=ProcessId(*self.service_pid)))
+        for op in self.script:
+            ctx.send(link, op)
+
+
+SCRIPT = [
+    ("raise", 10), ("discount", 30), ("discount", 25), ("rebate", 15),
+    ("discount", 10), ("rebate", 12), ("raise", 5), ("discount", 3),
+]
+
+
+def main():
+    system = System(SystemConfig(nodes=2))
+    system.registry.register("demo/pricing", PricingService)
+    system.registry.register("demo/trader", Trader)
+    system.boot()
+
+    service = system.spawn_program("demo/pricing", node=2)
+    system.spawn_program("demo/trader",
+                         args=(tuple(service), tuple(SCRIPT)), node=1)
+    system.run(10_000)
+
+    live = system.program_of(service)
+    print(f"live service price after the day's trading: {live.price}")
+    print("something is off — an analyst expected "
+          f"{100 + sum(a if op == 'raise' else -a for op, a in SCRIPT)}.")
+
+    print("\nAttaching the replay debugger to the published history...")
+    record = system.recorder.db.get(service)
+    debugger = ReplayDebugger(record, system.registry)
+
+    # Conditional breakpoint: the first step where replayed state
+    # diverges from the analyst's model.
+    expected = [100]
+    for op, amount in SCRIPT:
+        expected.append(expected[-1] + (amount if op == "raise" else -amount))
+
+    step_index = 0
+    while True:
+        step = debugger.step()
+        if step is None:
+            break
+        step_index += 1
+        modeled = expected[step_index]
+        actual = debugger.program.price
+        marker = "  <-- first divergence!" if actual != modeled else ""
+        print(f"  step {step.step}: {step.message.body} -> price {actual} "
+              f"(model says {modeled}){marker}")
+        if actual != modeled:
+            print(f"\nThe bug fires on {step.message.body} when the price "
+                  f"drops below 20: it was applied twice.")
+            break
+
+    assert debugger.program.price != expected[step_index]
+    assert step.message.body[0] == "rebate"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — run the quickstart scenario (crash + transparent
+  recovery) and print a short narrative;
+* ``capacity``    — print the §5.1 capacity table for each operating
+  point;
+* ``utilization`` — print the Figure 5.5 utilization sweep for one
+  operating point;
+* ``figure57``    — run the Figure 5.6 measurement program with and
+  without publishing and print Figure 5.7;
+* ``example3_1``  — print the Figure 3.1 recovery-time worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import Program, System, SystemConfig
+    from repro.demos.ids import ProcessId
+    from repro.demos.links import Link
+
+    class Accumulator(Program):
+        def __init__(self):
+            super().__init__()
+            self.total = 0
+
+        def on_message(self, ctx, m):
+            if isinstance(m.body, tuple) and m.body[0] == "add":
+                self.total += m.body[1]
+                if m.passed_link_id is not None:
+                    ctx.send(m.passed_link_id, ("total", self.total))
+
+    class Client(Program):
+        def __init__(self, server, n):
+            super().__init__()
+            self.server = tuple(server)
+            self.n = n
+            self.i = 0
+            self.replies = []
+
+        def attach_kernel(self, kernel):
+            self._ctx_kernel = kernel
+
+        def setup(self, ctx):
+            pcb = self._ctx_kernel.processes[ctx.pid]
+            self.link = self._ctx_kernel.forge_link(
+                pcb, Link(dst=ProcessId(*self.server)))
+            self._next(ctx)
+
+        def _next(self, ctx):
+            if self.i < self.n:
+                self.i += 1
+                reply = ctx.create_link(code=1)
+                ctx.send(self.link, ("add", self.i), pass_link_id=reply)
+
+        def on_message(self, ctx, m):
+            if isinstance(m.body, tuple) and m.body[0] == "total":
+                self.replies.append(m.body[1])
+                self._next(ctx)
+
+    system = System(SystemConfig(nodes=2, medium=args.medium))
+    system.registry.register("cli/server", Accumulator)
+    system.registry.register("cli/client", Client)
+    system.boot()
+    server = system.spawn_program("cli/server", node=2)
+    client = system.spawn_program("cli/client", args=(tuple(server), 30),
+                                  node=1)
+    system.run(1200)
+    print(f"[t={system.engine.now:7.0f} ms] workload running "
+          f"({len(system.program_of(client).replies)} replies in)")
+    system.crash_process(server)
+    print(f"[t={system.engine.now:7.0f} ms] server CRASHED")
+    while len(system.program_of(client).replies) < 30:
+        system.run(1000)
+    replies = system.program_of(client).replies
+    ok = replies == [sum(range(1, k + 1)) for k in range(1, 31)]
+    print(f"[t={system.engine.now:7.0f} ms] workload complete")
+    print(f"replies exactly match the crash-free run: {ok}")
+    print(f"recoveries: {system.recovery.stats.recoveries_completed}, "
+          f"messages replayed: {system.recovery.stats.messages_replayed}")
+    return 0 if ok else 1
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.queueing import OPERATING_POINTS, capacity_in_users
+    from repro.queueing.capacity import bottleneck
+
+    print(f"{'operating point':<18} {'max users':>9} {'nodes':>6} "
+          f"{'bottleneck':>10}")
+    for name, point in sorted(OPERATING_POINTS.items()):
+        users = capacity_in_users(point)
+        print(f"{name:<18} {users:>9} {users / point.users_per_node:>6.2f} "
+              f"{bottleneck(point, users):>10}")
+    return 0
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    from repro.queueing import OPERATING_POINTS, OpenQueueingModel
+
+    point = OPERATING_POINTS[args.point]
+    print(f"operating point: {args.point} "
+          f"({point.users_per_node} users/node)")
+    print(f"{'disks':>5} {'nodes':>5} {'network':>8} {'cpu':>8} {'disk':>8}")
+    for disks in (1, 2, 3):
+        for nodes in (1, 2, 3, 4, 5):
+            model = OpenQueueingModel(point=point, nodes=nodes, disks=disks)
+            u = model.utilizations()
+            flag = "  SATURATED" if not model.stable() else ""
+            print(f"{disks:>5} {nodes:>5} {100 * u['network']:>7.1f}% "
+                  f"{100 * u['cpu']:>7.1f}% {100 * u['disk']:>7.1f}%{flag}")
+    return 0
+
+
+def _cmd_figure57(args: argparse.Namespace) -> int:
+    from repro.metrics import measure_send_to_self
+
+    for publishing in (True, False):
+        r = measure_send_to_self(publishing=publishing, iterations=256)
+        label = "with publishing   " if publishing else "without publishing"
+        print(f"{label}: real {r['real_ms_per_iter']:6.2f} ms/iter, "
+              f"kernel CPU {r['kernel_cpu_ms_per_iter']:6.2f} ms/iter")
+    return 0
+
+
+def _cmd_example3_1(args: argparse.Namespace) -> int:
+    from repro.publishing.recovery_time import figure_3_1_example
+
+    example = figure_3_1_example()
+    print(f"after 4-page checkpoint : {example['after_checkpoint_ms']:.0f} ms")
+    print(f"after 100 ms of compute : {example['after_compute_ms']:.0f} ms")
+    print(f"after one 200 B message : {example['after_message_ms']:.0f} ms")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Presotto's PUBLISHING (SOSP 1983)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="crash + transparent recovery demo")
+    demo.add_argument("--medium", default="broadcast",
+                      choices=["broadcast", "acking_ethernet",
+                               "csma_ethernet", "star", "token_ring"])
+    demo.set_defaults(fn=_cmd_demo)
+
+    cap = sub.add_parser("capacity", help="§5.1 capacity table")
+    cap.set_defaults(fn=_cmd_capacity)
+
+    util = sub.add_parser("utilization", help="Figure 5.5 sweep")
+    util.add_argument("--point", default="mean",
+                      choices=["mean", "max_load_average",
+                               "max_state_sizes", "max_message_rate"])
+    util.set_defaults(fn=_cmd_utilization)
+
+    f57 = sub.add_parser("figure57", help="Figure 5.7 measurement")
+    f57.set_defaults(fn=_cmd_figure57)
+
+    f31 = sub.add_parser("example3_1", help="Figure 3.1 worked example")
+    f31.set_defaults(fn=_cmd_example3_1)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

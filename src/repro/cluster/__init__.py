@@ -1,0 +1,5 @@
+"""Cluster configurations (§6.2)."""
+
+from repro.cluster.gateways import Gateway, ClusterFederation
+
+__all__ = ["Gateway", "ClusterFederation"]

@@ -1,0 +1,169 @@
+"""LAN clusters joined by store-and-forward gateways (§6.2).
+
+"More likely are cluster configurations made up of a number of
+broadcast media networks connected via a store and forward network. ...
+In these networks, a recorder can be attached to each cluster to
+perform recovery for that cluster alone. The great advantage to this
+scheme is autonomous control."
+
+A :class:`Gateway` bridges two broadcast media: it claims frames whose
+destination lives on the far side, takes custody (the near medium's
+hardware ack completes the original sender's transmission), and
+re-offers them on the far medium with itself as the frame-level source,
+retrying until the far side — including its recorder — accepts. The far
+cluster's recorder therefore publishes inter-cluster messages exactly
+like local ones, and each recorder recovers only its own processes.
+
+:class:`ClusterFederation` builds N :class:`repro.system.System`
+clusters on one engine with disjoint node-id ranges and full-mesh
+gateways.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.net.frames import Frame, FrameKind
+from repro.net.media import Medium, NetworkInterface
+from repro.sim.engine import Engine
+from repro.system import System, SystemConfig
+
+#: Each gateway consumes two interface ids (near and far side).
+_gateway_ids = itertools.count(9000, 2)
+
+
+class Gateway:
+    """A one-directional store-and-forward bridge between two media.
+
+    Use two (one per direction) or the :func:`bridge` helper for a
+    bidirectional pair.
+    """
+
+    def __init__(self, engine: Engine, near: Medium, far: Medium,
+                 far_nodes: Callable[[int], bool],
+                 forward_delay_ms: float = 5.0,
+                 retry_ms: float = 50.0, max_retries: int = 100):
+        self.engine = engine
+        self.near = near
+        self.far = far
+        self.far_nodes = far_nodes
+        self.forward_delay_ms = forward_delay_ms
+        self.retry_ms = retry_ms
+        self.max_retries = max_retries
+        self.gateway_id = next(_gateway_ids)
+        self.frames_forwarded = 0
+        self.retries = 0
+        self._awaiting: Dict[int, int] = {}    # frame_id -> attempts
+        self._originals: Dict[int, Frame] = {}  # frame_id -> original frame
+        self.near_iface = NetworkInterface(
+            self.gateway_id, self._on_near_frame,
+            accept_extra=self.far_nodes)
+        near.attach(self.near_iface)
+        self.far_iface = NetworkInterface(
+            self.gateway_id + 1, lambda frame: None,
+            on_delivered=self._on_far_delivered)
+        far.attach(self.far_iface)
+
+    # ------------------------------------------------------------------
+    def _on_near_frame(self, frame: Frame) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        if not self.far_nodes(frame.dst_node):
+            return
+        if not frame.checksum_ok():
+            return   # the near sender's transport will retry
+        self.engine.schedule(self.forward_delay_ms, self._forward, frame, 0)
+
+    def _forward(self, frame: Frame, attempt: int) -> None:
+        if attempt >= self.max_retries:
+            return
+        clone = frame.clone_for(frame.dst_node)
+        # The gateway takes custody: it is the frame-level source on the
+        # far medium, so the far medium's hardware ack comes back here.
+        clone.src_node = self.far_iface.node_id
+        clone.recorder_acked = False
+        self._awaiting[clone.frame_id] = attempt
+        self._originals[clone.frame_id] = frame
+        self.frames_forwarded += 1
+        self.far_iface.send(clone)
+
+    def _on_far_delivered(self, frame: Frame, ok: bool) -> None:
+        attempt = self._awaiting.pop(frame.frame_id, None)
+        if attempt is None:
+            return
+        original = self._originals.pop(frame.frame_id, None)
+        if ok or original is None:
+            return
+        self.retries += 1
+        self.engine.schedule(self.retry_ms, self._forward, original, attempt + 1)
+
+
+def bridge(engine: Engine, medium_a: Medium, medium_b: Medium,
+           a_nodes: Set[int], b_nodes: Set[int],
+           forward_delay_ms: float = 5.0) -> Tuple[Gateway, Gateway]:
+    """A bidirectional gateway pair between two cluster media."""
+    a_to_b = Gateway(engine, medium_a, medium_b,
+                     far_nodes=lambda n: n in b_nodes,
+                     forward_delay_ms=forward_delay_ms)
+    b_to_a = Gateway(engine, medium_b, medium_a,
+                     far_nodes=lambda n: n in a_nodes,
+                     forward_delay_ms=forward_delay_ms)
+    return a_to_b, b_to_a
+
+
+class ClusterFederation:
+    """Several publishing clusters on one engine, fully bridged.
+
+    Each cluster is an independent :class:`System` — own medium, own
+    recorder, own recovery manager ("each cluster can decide for itself
+    how and whether or not it will perform recovery") — with disjoint
+    node-id ranges so pids are globally unambiguous.
+    """
+
+    def __init__(self, cluster_sizes: List[int], nodes_stride: int = 100,
+                 forward_delay_ms: float = 5.0, publishing: bool = True,
+                 configs: Optional[List[SystemConfig]] = None):
+        if not cluster_sizes:
+            raise NetworkError("a federation needs at least one cluster")
+        self.engine = Engine()
+        self.clusters: List[System] = []
+        self.gateways: List[Gateway] = []
+        self._node_sets: List[Set[int]] = []
+        for index, size in enumerate(cluster_sizes):
+            if configs is not None:
+                config = configs[index]
+            else:
+                config = SystemConfig(nodes=size, publishing=publishing)
+            config.first_node_id = 1 + index * nodes_stride
+            config.recorder_node_id = 90 + index
+            config.services_node = config.first_node_id
+            system = System(config, engine=self.engine)
+            self.clusters.append(system)
+            self._node_sets.append(set(system.nodes))
+        for i in range(len(self.clusters)):
+            for j in range(i + 1, len(self.clusters)):
+                pair = bridge(self.engine,
+                              self.clusters[i].medium, self.clusters[j].medium,
+                              self._node_sets[i], self._node_sets[j],
+                              forward_delay_ms=forward_delay_ms)
+                self.gateways.extend(pair)
+
+    def boot(self, settle_ms: float = 500.0) -> None:
+        for system in self.clusters:
+            system.boot(settle_ms=0.0)
+        self.run(settle_ms)
+        for system in self.clusters:
+            if system.config.publishing:
+                system.checkpoint_all()
+
+    def run(self, duration_ms: float) -> float:
+        return self.engine.run(until=self.engine.now + duration_ms)
+
+    def cluster_of(self, node_id: int) -> System:
+        for index, nodes in enumerate(self._node_sets):
+            if node_id in nodes:
+                return self.clusters[index]
+        raise NetworkError(f"node {node_id} is in no cluster")

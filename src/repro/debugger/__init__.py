@@ -1,0 +1,5 @@
+"""Replay debugging from published histories (§6.5)."""
+
+from repro.debugger.replay import DebugContext, ReplayDebugger, ReplayStep
+
+__all__ = ["DebugContext", "ReplayDebugger", "ReplayStep"]

@@ -1,0 +1,102 @@
+"""Messages and kernel-level control payloads.
+
+"Messages consist of three parts: a header, a passed link, and a body.
+The header contains the code and channel of the message in addition to
+information needed to route the message to the correct process. These
+fields are obtained from the link over which the message is sent"
+(§4.2.2.3).
+
+A :class:`Control` is not a DEMOS message: it is kernel↔kernel /
+kernel↔recorder protocol (watchdog pings, creation notices, checkpoints,
+recreate and replay traffic). Controls ride the same transport but are
+handled below the process level and — except where noted — are not
+published.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.demos.ids import MessageId, ProcessId
+from repro.demos.links import Link
+
+#: Default and maximum body sizes, matching the queuing model's short
+#: (128-byte) and long (1024-byte) message classes (§5.1).
+DEFAULT_BODY_BYTES = 128
+MAX_BODY_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class Message:
+    """One DEMOS message in flight or in a queue."""
+
+    msg_id: MessageId            # (sender pid, sender's send sequence)
+    src: ProcessId
+    dst: ProcessId
+    channel: int
+    code: int
+    body: Any
+    passed_link: Optional[Link] = None
+    size_bytes: int = DEFAULT_BODY_BYTES
+    deliver_to_kernel: bool = False
+    #: Set on the marker the recovery process uses to hand a recovering
+    #: process back to live traffic (see publishing.recovery_manager).
+    recovery_marker: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.size_bytes <= MAX_BODY_BYTES:
+            raise ValueError(
+                f"message body must be 1..{MAX_BODY_BYTES} bytes, "
+                f"got {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """What a program's ``on_message`` handler sees.
+
+    The kernel has already moved any passed link into the receiver's
+    link table; ``passed_link_id`` is its id there ("the receiver is
+    told the link id of the link").
+    """
+
+    code: int
+    channel: int
+    body: Any
+    src: ProcessId
+    passed_link_id: Optional[int] = None
+
+
+_control_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Control:
+    """A kernel-level protocol datagram.
+
+    ``kind`` values used across the system:
+
+    * ``are_you_alive`` / ``alive_reply`` — watchdog protocol (§4.6);
+    * ``process_created`` / ``process_destroyed`` — recorder notices (§4.5);
+    * ``process_crashed`` — trap report to the recovery manager (§3.3.2);
+    * ``checkpoint`` — a process checkpoint bound for the recorder;
+    * ``read_order`` — out-of-order channel-read advisory (§4.4.2);
+    * ``recreate`` / ``recreate_ok`` — recovery restart request (§4.7);
+    * ``replay`` — one published message re-sent to a recovering process;
+    * ``recovery_done`` — recovery process signing off;
+    * ``state_query`` / ``state_reply`` — recorder restart protocol (§3.3.4),
+      stamped with the restart number so stale replies are ignored (§3.4);
+    * ``recover_offer`` / ``recover_answer`` — multi-recorder coordination
+      (§6.3).
+    """
+
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_control_counter))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class NetworkError(ReproError):
+    """A network component was configured or driven incorrectly."""
+
+
+class KernelError(ReproError):
+    """A DEMOS kernel call failed in a way the caller cannot recover from.
+
+    Recoverable conditions (no message available, bad link id, ...) are
+    reported through kernel-call condition codes, not exceptions; this
+    exception signals misuse of the kernel API itself.
+    """
+
+
+class LinkError(KernelError):
+    """An operation referenced a link id that does not exist or was moved."""
+
+
+class ProcessError(KernelError):
+    """A process operation referenced a dead or unknown process."""
+
+
+class RecorderError(ReproError):
+    """The publishing recorder detected an inconsistency."""
+
+
+class RecoveryError(ReproError):
+    """Process or recorder recovery could not make progress."""
+
+
+class StorageError(ReproError):
+    """Stable storage or the disk model rejected an operation."""
+
+
+class TransactionError(ReproError):
+    """A published transaction was aborted or misused."""
+
+
+class QueueingModelError(ReproError):
+    """The queuing model was configured with parameters it cannot solve."""

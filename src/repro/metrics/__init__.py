@@ -1,0 +1,23 @@
+"""Metering: the Chapter 5.2 measurement methodology.
+
+Bart Miller's metering system gave the thesis its DEMOS/MP numbers; this
+package provides the equivalent: CPU/real-time meters over a node, the
+Figure 5.6 send-to-self measurement program, and the Figure 5.8
+create/destroy measurement, each runnable with and without publishing.
+"""
+
+from repro.metrics.metering import (
+    KernelMeter,
+    MeterReading,
+    measure_send_to_self,
+    measure_create_destroy,
+    measure_publishing_time,
+)
+
+__all__ = [
+    "KernelMeter",
+    "MeterReading",
+    "measure_send_to_self",
+    "measure_create_destroy",
+    "measure_publishing_time",
+]

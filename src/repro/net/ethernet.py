@@ -1,0 +1,122 @@
+"""Standard CSMA/CD Ethernet (Metcalfe & Boggs).
+
+"In the standard Ethernet, the network is available to all nodes for
+transmission whenever they detect no transmission on it. If two nodes
+transmit at the same time (collide), they will detect the condition,
+cease transmission, and then retry after pseudo randomly different
+intervals" (§6.1.1).
+
+The model is slotted at the classic 51.2 µs slot time: stations that
+begin transmitting within the same slot collide, abort after one slot,
+and back off a truncated binary exponential number of slots. Receivers
+of data frames reply with ACK frames that **contend for the bus like any
+other frame** — under load these acknowledgements collide with queued
+data, which is exactly the inefficiency Figure 6.2 illustrates and the
+Acknowledging Ethernet removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.frames import Frame, FrameKind
+from repro.net.media import Medium, NetworkInterface
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class EthernetParams:
+    """Timing constants for the CSMA/CD model."""
+
+    slot_time_ms: float = 0.0512      # classic Ethernet slot (51.2 µs)
+    max_backoff_exp: int = 10         # truncated binary exponential backoff
+    max_attempts: int = 16            # give up (frame lost) after this many
+    auto_ack: bool = False            # receivers emit contending ACK frames
+
+
+class CsmaEthernet(Medium):
+    """A slotted CSMA/CD broadcast medium with collisions."""
+
+    provides_delivery_ack = False
+
+    def __init__(self, engine: Engine, rng: RngStreams,
+                 params: Optional[EthernetParams] = None, **kwargs):
+        super().__init__(engine, **kwargs)
+        self.rng = rng
+        self.params = params or EthernetParams()
+        self._busy_until = 0.0
+        #: transmissions waiting to start, grouped by their start slot
+        self._starting: List[Tuple[NetworkInterface, Frame, int]] = []
+        self._resolution_pending = False
+        self.acks_sent = 0
+        self.ack_collisions = 0
+
+    # ------------------------------------------------------------------
+    def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
+        self.stats.frames_offered += 1
+        self._attempt(iface, frame, attempt=0)
+
+    def _attempt(self, iface: NetworkInterface, frame: Frame, attempt: int) -> None:
+        now = self.engine.now
+        if now < self._busy_until:
+            # Defer until the carrier drops, then contend.
+            self.engine.schedule(self._busy_until - now, self._attempt,
+                                 iface, frame, attempt)
+            return
+        self._starting.append((iface, frame, attempt))
+        if not self._resolution_pending:
+            self._resolution_pending = True
+            # All stations starting within one slot time collide.
+            self.engine.schedule(self.params.slot_time_ms, self._resolve)
+
+    def _resolve(self) -> None:
+        self._resolution_pending = False
+        contenders, self._starting = self._starting, []
+        if not contenders:
+            return
+        if len(contenders) == 1:
+            iface, frame, _attempt = contenders[0]
+            self._begin_transmission(iface, frame)
+            return
+        # Collision: one slot of wasted bus time, everyone backs off.
+        self.stats.collisions += len(contenders)
+        if any(f.kind is FrameKind.ACK for _, f, _ in contenders):
+            self.ack_collisions += 1
+        self._busy_until = self.engine.now + self.params.slot_time_ms
+        self.stats.busy_time_ms += self.params.slot_time_ms
+        for iface, frame, attempt in contenders:
+            attempt += 1
+            if attempt >= self.params.max_attempts:
+                continue          # excessive collisions: frame dropped
+            exp = min(attempt, self.params.max_backoff_exp)
+            slots = self.rng.stream(f"ether/{iface.node_id}").randrange(0, 2 ** exp)
+            delay = self.params.slot_time_ms * (1 + slots)
+            self.engine.schedule(delay, self._attempt, iface, frame, attempt)
+
+    def _begin_transmission(self, iface: NetworkInterface, frame: Frame) -> None:
+        duration = self.tx_time_ms(frame.size_bytes)
+        self._busy_until = self.engine.now + duration
+        self.stats.busy_time_ms += duration
+        self.engine.schedule(duration, self._complete, iface, frame)
+
+    def _complete(self, iface: NetworkInterface, frame: Frame) -> None:
+        if not iface.up:
+            return
+        stored = self._record_frame(frame)
+        recorder_ok = stored or not self.recorders()
+        self._deliver_to_receivers(frame, recorder_ok)
+        if self.params.auto_ack and frame.kind is FrameKind.DATA:
+            self._send_auto_ack(frame)
+
+    def _send_auto_ack(self, frame: Frame) -> None:
+        """Model the receiver's acknowledgement as a contending frame."""
+        for iface in self.interfaces:
+            if iface.node_id == frame.dst_node and iface.up:
+                ack = Frame(kind=FrameKind.ACK, src_node=iface.node_id,
+                            dst_node=frame.src_node,
+                            payload=("ack", frame.frame_id), size_bytes=32)
+                self.acks_sent += 1
+                self.transmit(iface, ack)
+                return

@@ -1,0 +1,93 @@
+"""Network fault injection.
+
+The thesis assumes "network failures are temporary" (§4.3.3): frames may
+be lost or corrupted, and the transport layer's retransmission recovers
+them. A :class:`FaultPlan` decides, per delivery attempt, whether a frame
+is lost, corrupted, or delivered intact. Probabilistic faults draw from a
+named RNG stream so runs stay reproducible; targeted faults let tests
+drop *specific* frames (e.g. "the recorder misses the next data frame").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.frames import Frame
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class _TargetedFault:
+    predicate: Callable[[Frame, int], bool]
+    action: str                # "lose" or "corrupt"
+    remaining: int             # how many matching deliveries to affect
+
+
+@dataclass
+class FaultPlan:
+    """Loss/corruption policy consulted on every frame delivery attempt.
+
+    ``loss_rate`` and ``corruption_rate`` apply independently per receiver
+    (a broadcast frame can reach some receivers and miss others, exactly
+    the case the recorder-acknowledgement machinery exists for).
+    """
+
+    rng: Optional[RngStreams] = None
+    loss_rate: float = 0.0
+    corruption_rate: float = 0.0
+    _targeted: List[_TargetedFault] = field(default_factory=list)
+    losses: int = 0
+    corruptions: int = 0
+
+    def lose_next(self, predicate: Callable[[Frame, int], bool], count: int = 1) -> None:
+        """Drop the next ``count`` deliveries matching ``predicate(frame, receiver)``."""
+        self._targeted.append(_TargetedFault(predicate, "lose", count))
+
+    def corrupt_next(self, predicate: Callable[[Frame, int], bool], count: int = 1) -> None:
+        """Corrupt the next ``count`` deliveries matching the predicate."""
+        self._targeted.append(_TargetedFault(predicate, "corrupt", count))
+
+    def apply(self, frame: Frame, receiver_node: int) -> Optional[Frame]:
+        """Decide the fate of ``frame`` at ``receiver_node``.
+
+        Returns the frame to deliver (possibly a corrupted copy) or None
+        if the frame is lost.
+        """
+        for fault in list(self._targeted):
+            if fault.remaining > 0 and fault.predicate(frame, receiver_node):
+                fault.remaining -= 1
+                if fault.remaining == 0:
+                    self._targeted.remove(fault)
+                if fault.action == "lose":
+                    self.losses += 1
+                    return None
+                return self._corrupted_copy(frame)
+        if self.rng is not None:
+            stream = self.rng.stream(f"faults/{receiver_node}")
+            if self.loss_rate > 0 and stream.random() < self.loss_rate:
+                self.losses += 1
+                return None
+            if self.corruption_rate > 0 and stream.random() < self.corruption_rate:
+                return self._corrupted_copy(frame)
+        return frame
+
+    def _corrupted_copy(self, frame: Frame) -> Frame:
+        self.corruptions += 1
+        copy = Frame(
+            kind=frame.kind,
+            src_node=frame.src_node,
+            dst_node=frame.dst_node,
+            payload=frame.payload,
+            size_bytes=frame.size_bytes,
+            checksum=frame.checksum,
+            recorder_acked=frame.recorder_acked,
+        )
+        copy.corrupt()
+        return copy
+
+
+#: A fault plan that never interferes — the default for most tests.
+def no_faults() -> FaultPlan:
+    """A plan with zero loss and corruption."""
+    return FaultPlan()

@@ -1,0 +1,101 @@
+"""Frames and checksums.
+
+The DEMOS/MP link layer "wraps all messages with a rotating checksum and
+checks the message type for validity. Any messages with an incorrect
+checksum are discarded" (§4.3.3). We model that literally: every frame
+carries a CRC computed over a canonical encoding of its payload, and the
+receiving link layer recomputes and compares it. Fault injection corrupts
+the stored CRC, which is indistinguishable from bit rot on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+#: Destination id meaning "every attached interface".
+BROADCAST = -1
+
+_frame_counter = itertools.count(1)
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT over ``data`` — the frame checksum.
+
+    A real rotating checksum rather than Python's ``hash`` so that the
+    value is stable across runs and processes.
+    """
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """A deterministic byte encoding of a payload object.
+
+    ``repr`` of the payload is stable for the dataclass payloads used by
+    the transport and DEMOS layers (no ids or addresses appear in them).
+    """
+    return repr(payload).encode("utf-8", errors="replace")
+
+
+class FrameKind(Enum):
+    """Frame types recognised by the link layer (§4.3.3 "message type")."""
+
+    DATA = "data"
+    ACK = "ack"             # end-to-end transport acknowledgement
+    RECORDER_ACK = "recorder_ack"  # medium-level recorder acknowledgement
+    CONTROL = "control"     # watchdog pings, state queries, etc.
+
+
+@dataclass
+class Frame:
+    """One transmission on the medium.
+
+    ``recorder_acked`` is set by the medium when the recorder successfully
+    stored the frame; link layers at receivers that require publishing drop
+    data frames without it (§6.1).
+    """
+
+    kind: FrameKind
+    src_node: int
+    dst_node: int
+    payload: Any
+    size_bytes: int
+    frame_id: int = field(default_factory=lambda: next(_frame_counter))
+    checksum: Optional[int] = None
+    recorder_acked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")
+        if self.checksum is None:
+            self.checksum = crc16(canonical_bytes(self.payload))
+
+    def checksum_ok(self) -> bool:
+        """Recompute the CRC and compare with the stored one."""
+        return self.checksum == crc16(canonical_bytes(self.payload))
+
+    def corrupt(self) -> None:
+        """Simulate bit rot: flip a checksum bit so validation fails."""
+        self.checksum ^= 0x0001
+
+    def clone_for(self, dst_node: int) -> "Frame":
+        """A copy of this frame addressed to ``dst_node`` (hub forwarding)."""
+        return Frame(
+            kind=self.kind,
+            src_node=self.src_node,
+            dst_node=dst_node,
+            payload=self.payload,
+            size_bytes=self.size_bytes,
+            checksum=self.checksum,
+            recorder_acked=self.recorder_acked,
+        )

@@ -1,0 +1,273 @@
+"""Media layer: the medium interface and a perfect broadcast bus.
+
+"The lowest layer in the network is the media layer. The media layer
+creates an abstract network device for the rest of the system" (§4.3.3).
+
+Every medium model shares these semantics, which is what publishing
+relies on (§3.2.4, §6.1):
+
+* the bus is serialized — one frame occupies it at a time, so all
+  listeners observe the **same total order** of frames;
+* a passive **recorder** interface overhears every frame;
+* when publishing is enforced, a data frame is usable by its receiver
+  only if the recorder stored it: the medium sets ``frame.recorder_acked``
+  after a successful recorder reception, and receivers drop data frames
+  without the flag (the transport layer re-sends them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultPlan
+from repro.net.frames import BROADCAST, Frame, FrameKind
+from repro.sim.engine import Engine
+
+
+@dataclass
+class MediumStats:
+    """Counters every medium keeps; benches and tests read these."""
+
+    frames_offered: int = 0
+    frames_delivered: int = 0
+    bytes_delivered: int = 0
+    collisions: int = 0
+    recorder_misses: int = 0     # data frames the recorder failed to store
+    busy_time_ms: float = 0.0
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of elapsed time the medium was carrying bits."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_ms / elapsed_ms)
+
+
+class NetworkInterface:
+    """One station's attachment point.
+
+    ``on_frame(frame)`` is invoked for every frame this station should
+    see: frames addressed to it, broadcast frames, and — for recorder
+    interfaces — every frame on the medium. ``on_delivered(frame, ok)``
+    tells a *sender* whether the medium-level delivery succeeded, for
+    media that provide hardware acknowledgement.
+    """
+
+    def __init__(self, node_id: int, on_frame: Callable[[Frame], None],
+                 is_recorder: bool = False,
+                 on_delivered: Optional[Callable[[Frame, bool], None]] = None,
+                 accept_extra: Optional[Callable[[int], bool]] = None):
+        self.node_id = node_id
+        self.on_frame = on_frame
+        self.is_recorder = is_recorder
+        self.on_delivered = on_delivered
+        #: extra destinations this station claims (gateways, §6.2)
+        self.accept_extra = accept_extra
+        #: recorder-only: invoked when the medium observes a data frame
+        #: being successfully received by its destination — the §4.4.1
+        #: "tracing the acknowledgements" channel that tells the recorder
+        #: the true reception order at the nodes
+        self.on_delivery = None
+        self.up = True
+        self.medium: Optional["Medium"] = None
+
+    def accepts(self, dst_node: int) -> bool:
+        """Should this station take a frame addressed to ``dst_node``?"""
+        if dst_node == self.node_id:
+            return True
+        return self.accept_extra is not None and self.accept_extra(dst_node)
+
+    def send(self, frame: Frame) -> None:
+        """Hand a frame to the attached medium for transmission."""
+        if self.medium is None:
+            raise NetworkError(f"interface {self.node_id} is not attached")
+        self.medium.transmit(self, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "recorder" if self.is_recorder else "station"
+        return f"<iface node={self.node_id} {role} {'up' if self.up else 'down'}>"
+
+
+class Medium:
+    """Base class for all medium models."""
+
+    #: True if the medium itself confirms delivery to the sender
+    #: (hardware ack), so the transport needs no explicit ACK frames.
+    provides_delivery_ack = False
+
+    def __init__(self, engine: Engine, bandwidth_bps: float = 10_000_000,
+                 interpacket_delay_ms: float = 1.6,
+                 faults: Optional[FaultPlan] = None,
+                 enforce_recorder_ack: bool = False):
+        self.engine = engine
+        self.bandwidth_bps = bandwidth_bps
+        self.interpacket_delay_ms = interpacket_delay_ms
+        self.faults = faults or FaultPlan()
+        self.enforce_recorder_ack = enforce_recorder_ack
+        self.interfaces: List[NetworkInterface] = []
+        self.stats = MediumStats()
+
+    # ------------------------------------------------------------------
+    def attach(self, iface: NetworkInterface) -> NetworkInterface:
+        """Attach a station; returns the interface for chaining."""
+        if any(i.node_id == iface.node_id for i in self.interfaces):
+            raise NetworkError(f"node id {iface.node_id} already attached")
+        iface.medium = self
+        self.interfaces.append(iface)
+        return iface
+
+    def detach(self, iface: NetworkInterface) -> None:
+        """Remove a station (a failed processor being replaced by a
+        spare that assumes its identity, §3.3.3/§4.6)."""
+        if iface in self.interfaces:
+            self.interfaces.remove(iface)
+            iface.medium = None
+            iface.up = False
+
+    def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
+        """Queue a frame for transmission. Subclasses implement timing."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def tx_time_ms(self, size_bytes: int) -> float:
+        """Time the frame occupies the wire, plus the interpacket gap."""
+        return size_bytes * 8.0 / self.bandwidth_bps * 1000.0 + self.interpacket_delay_ms
+
+    def recorders(self) -> List[NetworkInterface]:
+        """All attached recorder interfaces (healthy or not)."""
+        return [i for i in self.interfaces if i.is_recorder]
+
+    # ------------------------------------------------------------------
+    def _record_frame(self, frame: Frame) -> bool:
+        """Offer the frame to every healthy recorder.
+
+        Returns True only if **every** healthy recorder stored the frame
+        — §6.3: "each message must have an acknowledge from all recorders
+        before it can be used", with a failed recorder's acknowledgement
+        supplied by the survivors. With all recorders down, nothing can
+        be stored and guaranteed traffic stalls until one returns
+        (§3.3.4).
+        """
+        healthy = [r for r in self.recorders() if r.up]
+        if not healthy:
+            return False
+        stored_by_all = True
+        for rec in healthy:
+            seen = self.faults.apply(frame, rec.node_id)
+            if seen is not None and seen.checksum_ok():
+                rec.on_frame(seen)
+            else:
+                stored_by_all = False
+        return stored_by_all
+
+    def _deliver_to_receivers(self, frame: Frame, recorder_ok: bool) -> None:
+        """Deliver the frame to its destination(s), honouring the
+        recorder-acknowledgement rule for data frames."""
+        if (self.enforce_recorder_ack and frame.kind is FrameKind.DATA
+                and not recorder_ok):
+            self.stats.recorder_misses += 1
+            self._notify_sender(frame, False)
+            return
+        delivered = False
+        for iface in self.interfaces:
+            if iface.is_recorder or not iface.up:
+                continue
+            # A node receives its own transmission when it addresses
+            # itself — published intranode messages travel the wire and
+            # come back (§4.4.1) — but never its own true broadcasts.
+            if frame.dst_node == BROADCAST:
+                if iface.node_id == frame.src_node:
+                    continue
+            elif not iface.accepts(frame.dst_node):
+                continue
+            seen = self.faults.apply(frame, iface.node_id)
+            if seen is None:
+                continue
+            seen.recorder_acked = recorder_ok
+            iface.on_frame(seen)
+            if seen.checksum_ok():
+                delivered = True
+                self._notify_recorders_of_delivery(frame)
+        if not delivered and recorder_ok:
+            # Traffic addressed to the recorder node itself (checkpoints,
+            # notices) was already handed over during recording.
+            delivered = any(r.node_id == frame.dst_node and r.up
+                            for r in self.recorders())
+        if delivered:
+            self.stats.frames_delivered += 1
+            self.stats.bytes_delivered += frame.size_bytes
+        self._notify_sender(frame, delivered)
+
+    def _notify_recorders_of_delivery(self, frame: Frame) -> None:
+        """§4.4.1 ack tracing: tell every healthy recorder that the
+        destination actually received this frame, so per-process logs
+        reflect reception order rather than recording order."""
+        if frame.kind is not FrameKind.DATA:
+            return
+        for rec in self.recorders():
+            if rec.up and rec.on_delivery is not None:
+                rec.on_delivery(frame)
+
+    def _notify_sender(self, frame: Frame, ok: bool) -> None:
+        if not self.provides_delivery_ack:
+            return
+        for iface in self.interfaces:
+            if iface.node_id == frame.src_node and iface.on_delivered is not None:
+                iface.on_delivered(frame, ok)
+                return
+
+
+class PerfectBroadcast(Medium):
+    """A serialized, reliable broadcast bus.
+
+    Frames queue FIFO and occupy the wire for ``tx_time_ms``; on
+    completion the recorder stores the frame and receivers get it in the
+    same total order. This is the medium most functional tests use: all
+    interesting behaviour (loss, recorder misses) comes from the fault
+    plan, not from contention.
+
+    ``ack_latency_ms`` delays delivery (and therefore the hardware
+    acknowledgement) past the end of transmission — receiver processing,
+    a long link — without occupying the bus. It is the regime where the
+    §4.3.3 windowing scheme pays off: stop-and-wait idles the bus for a
+    full latency per message, a window pipelines through it.
+    """
+
+    provides_delivery_ack = True
+
+    def __init__(self, *args, ack_latency_ms: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ack_latency_ms = ack_latency_ms
+        self._queue: List[tuple] = []
+        self._busy = False
+
+    def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
+        self.stats.frames_offered += 1
+        self._queue.append((iface, frame))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        iface, frame = self._queue.pop(0)
+        duration = self.tx_time_ms(frame.size_bytes)
+        self.stats.busy_time_ms += duration
+        self.engine.schedule(duration, self._complete, iface, frame)
+
+    def _complete(self, iface: NetworkInterface, frame: Frame) -> None:
+        if iface.up:
+            stored = self._record_frame(frame)
+            # With no recorder attached (publishing disabled) the ack rule
+            # is vacuous and frames flow normally.
+            recorder_ok = stored or not self.recorders()
+            if self.ack_latency_ms > 0:
+                self.engine.schedule(self.ack_latency_ms,
+                                     self._deliver_to_receivers,
+                                     frame, recorder_ok)
+            else:
+                self._deliver_to_receivers(frame, recorder_ok)
+        self._start_next()

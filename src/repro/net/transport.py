@@ -1,0 +1,350 @@
+"""The transport layer (§4.3.3).
+
+Provides, per node:
+
+* **unguaranteed** messages — fire and forget (routing/statistics);
+* **guaranteed** messages — end-to-end acknowledged, retransmitted until
+  acknowledged;
+* **duplicate suppression** — every message carries a unique identifier
+  (sending process uid + per-process sequence number) checked against a
+  cache of recently received identifiers;
+* **in-order delivery** — "message ordering between processors is
+  currently preserved by allowing only one unacknowledged message to be
+  in transit from each processor", modelled literally with a window of 1
+  (configurable for the windowing scheme the thesis anticipates);
+* the publishing rule — a received data frame lacking the recorder's
+  acknowledgement is discarded "exactly as if it had received a bad
+  packet" and is later re-sent by the sender (§6.1.1).
+
+On media that provide hardware delivery acknowledgement (the
+Acknowledging Ethernet's reserved slot, the ring's ack field, the star
+hub) the medium ack doubles as the end-to-end ack — the LAN is a single
+hop. On the plain CSMA/CD Ethernet, explicit ACK frames are sent and
+contend for the bus.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.frames import BROADCAST, Frame, FrameKind
+from repro.net.media import Medium, NetworkInterface
+from repro.sim.engine import Engine, EventHandle
+
+
+@dataclass(frozen=True)
+class Segment:
+    """The transport payload carried inside a frame."""
+
+    uid: Tuple            # network-unique message identifier
+    src_node: int
+    dst_node: int
+    body: Any
+    guaranteed: bool = True
+    #: per (src, dst) stream sequence number; lets a windowed receiver
+    #: reorder concurrent in-flight messages (the §4.3.3 "windowing
+    #: scheme that will continue to preserve message ordering")
+    stream_seq: Optional[int] = None
+
+
+@dataclass
+class TransportConfig:
+    """Tunables for one node's transport layer."""
+
+    retransmit_timeout_ms: float = 100.0
+    max_retries: int = 1000
+    dedup_cache_size: int = 4096
+    header_bytes: int = 32
+    ack_bytes: int = 32
+    window: int = 1
+    #: With ordered_window=True (and window > 1) the sender stamps each
+    #: guaranteed segment with a per-destination stream sequence and the
+    #: receiver buffers out-of-order arrivals, releasing them in order —
+    #: the windowing scheme §4.3.3 anticipates. Keeps in-order delivery
+    #: while allowing `window` messages in flight concurrently.
+    ordered_window: bool = False
+    #: With per_destination=True the window applies per destination node
+    #: instead of globally, and in-order delivery is still preserved
+    #: per destination (at most one outstanding message each). The
+    #: recorder uses this so a recreate bound for a still-rebooting node
+    #: does not head-of-line-block replay streams to healthy nodes.
+    per_destination: bool = False
+    require_recorder_ack: bool = False
+
+
+@dataclass
+class TransportStats:
+    """Counters for tests and benches."""
+
+    sent: int = 0
+    delivered_up: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    dropped_bad_checksum: int = 0
+    dropped_no_recorder_ack: int = 0
+    acks_sent: int = 0
+
+
+class _Outstanding:
+    """A guaranteed message awaiting acknowledgement."""
+
+    __slots__ = ("segment", "size_bytes", "attempts", "timer")
+
+    def __init__(self, segment: Segment, size_bytes: int):
+        self.segment = segment
+        self.size_bytes = size_bytes
+        self.attempts = 0
+        self.timer: Optional[EventHandle] = None
+
+
+class Transport:
+    """One node's transport endpoint."""
+
+    def __init__(self, engine: Engine, medium: Medium, node_id: int,
+                 on_receive: Callable[[Segment], None],
+                 config: Optional[TransportConfig] = None,
+                 is_recorder: bool = False,
+                 tap: Optional[Callable[[Frame], None]] = None):
+        self.engine = engine
+        self.medium = medium
+        self.node_id = node_id
+        self.on_receive = on_receive
+        self.config = config or TransportConfig()
+        #: called with every checksum-valid frame this interface hears,
+        #: before destination filtering — the recorder's passive listener
+        self.tap = tap
+        self.stats = TransportStats()
+        self._outq: Deque[_Outstanding] = deque()
+        self._in_flight: Dict[Tuple, _Outstanding] = {}
+        self._dedup: "OrderedDict[Tuple, None]" = OrderedDict()
+        #: sender side: next stream sequence per destination node
+        self._next_stream_seq: Dict[int, int] = {}
+        #: receiver side: next expected stream seq and held-out-of-order
+        #: segments, per source node
+        self._expected_seq: Dict[int, int] = {}
+        self._reorder: Dict[int, Dict[int, Segment]] = {}
+        self.iface = NetworkInterface(node_id, self._on_frame,
+                                      is_recorder=is_recorder,
+                                      on_delivered=self._on_media_ack)
+        medium.attach(self.iface)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, dst_node: int, body: Any, size_bytes: int, uid: Tuple,
+             guaranteed: bool = True) -> None:
+        """Queue a message for the destination node.
+
+        ``size_bytes`` is the body size; the transport adds its header.
+        """
+        if guaranteed and dst_node == BROADCAST:
+            raise NetworkError("guaranteed messages must be unicast")
+        stream_seq = None
+        if guaranteed and self.config.ordered_window:
+            stream_seq = self._next_stream_seq.get(dst_node, 0)
+            self._next_stream_seq[dst_node] = stream_seq + 1
+        segment = Segment(uid=uid, src_node=self.node_id, dst_node=dst_node,
+                          body=body, guaranteed=guaranteed,
+                          stream_seq=stream_seq)
+        total = size_bytes + self.config.header_bytes
+        if not guaranteed:
+            self.stats.sent += 1
+            self.iface.send(self._frame_for(segment, total))
+            return
+        self._outq.append(_Outstanding(segment, total))
+        self._pump()
+
+    def _frame_for(self, segment: Segment, size_bytes: int) -> Frame:
+        return Frame(kind=FrameKind.DATA, src_node=self.node_id,
+                     dst_node=segment.dst_node, payload=segment,
+                     size_bytes=size_bytes)
+
+    def _pump(self) -> None:
+        """Start transmissions up to the window limit."""
+        if not self.config.per_destination:
+            while self._outq and len(self._in_flight) < self.config.window:
+                out = self._outq.popleft()
+                self._in_flight[out.segment.uid] = out
+                self._transmit(out)
+            return
+        # Per-destination windows: at most `window` outstanding per
+        # destination node, preserving per-destination FIFO order.
+        busy_dsts: Dict[int, int] = {}
+        for inflight in self._in_flight.values():
+            dst = inflight.segment.dst_node
+            busy_dsts[dst] = busy_dsts.get(dst, 0) + 1
+        started = []
+        blocked = set()
+        for out in list(self._outq):
+            dst = out.segment.dst_node
+            if dst in blocked:
+                continue
+            if busy_dsts.get(dst, 0) >= self.config.window:
+                blocked.add(dst)   # keep FIFO order within a destination
+                continue
+            busy_dsts[dst] = busy_dsts.get(dst, 0) + 1
+            blocked.add(dst)
+            started.append(out)
+        for out in started:
+            self._outq.remove(out)
+            self._in_flight[out.segment.uid] = out
+            self._transmit(out)
+
+    def _transmit(self, out: _Outstanding) -> None:
+        if not self.iface.up:
+            return
+        out.attempts += 1
+        if out.attempts > 1:
+            self.stats.retransmissions += 1
+        self.stats.sent += 1
+        self.iface.send(self._frame_for(out.segment, out.size_bytes))
+        out.timer = self.engine.schedule(self.config.retransmit_timeout_ms,
+                                         self._on_timeout, out)
+
+    def _on_timeout(self, out: _Outstanding) -> None:
+        if out.segment.uid not in self._in_flight:
+            return
+        if out.attempts >= self.config.max_retries:
+            # Give up; guaranteed delivery holds only for temporary
+            # failures, which max_retries bounds for simulation hygiene.
+            del self._in_flight[out.segment.uid]
+            self._pump()
+            return
+        self._transmit(out)
+
+    def _complete(self, uid: Tuple) -> None:
+        out = self._in_flight.pop(uid, None)
+        if out is None:
+            return
+        if out.timer is not None:
+            out.timer.cancel()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        # Link layer: discard frames with bad checksums.
+        if not frame.checksum_ok():
+            self.stats.dropped_bad_checksum += 1
+            return
+        if self.tap is not None:
+            self.tap(frame)
+        if frame.kind is FrameKind.ACK:
+            tag, uid = frame.payload
+            if tag == "e2e-ack":
+                self._complete(uid)
+            return
+        if frame.kind is not FrameKind.DATA:
+            return
+        segment: Segment = frame.payload
+        if segment.dst_node not in (self.node_id, BROADCAST):
+            return
+        if (self.config.require_recorder_ack and not frame.recorder_acked
+                and not self.iface.is_recorder):
+            self.stats.dropped_no_recorder_ack += 1
+            return
+        if segment.guaranteed:
+            if segment.uid in self._dedup:
+                self.stats.duplicates_suppressed += 1
+                self._ack(segment)     # re-ack: the first ack may have died
+                return
+            self._remember(segment.uid)
+            if segment.src_node == self.node_id:
+                # Published intranode message looping back: complete the
+                # pending send directly rather than acking ourselves.
+                self._complete(segment.uid)
+            else:
+                self._ack(segment)
+            if segment.stream_seq is not None:
+                self._deliver_in_stream_order(segment)
+                return
+        self.stats.delivered_up += 1
+        self.on_receive(segment)
+
+    def _deliver_in_stream_order(self, segment: Segment) -> None:
+        """Windowed mode: hold out-of-order arrivals and release runs
+        in stream-sequence order per source node."""
+        src = segment.src_node
+        expected = self._expected_seq.get(src, 0)
+        if segment.stream_seq < expected:
+            return          # stale duplicate beyond the dedup horizon
+        held = self._reorder.setdefault(src, {})
+        held[segment.stream_seq] = segment
+        while expected in held:
+            ready = held.pop(expected)
+            expected += 1
+            self.stats.delivered_up += 1
+            self.on_receive(ready)
+        self._expected_seq[src] = expected
+
+    def _remember(self, uid: Tuple) -> None:
+        self._dedup[uid] = None
+        while len(self._dedup) > self.config.dedup_cache_size:
+            self._dedup.popitem(last=False)
+
+    def _ack(self, segment: Segment) -> None:
+        """Send the end-to-end acknowledgement, unless the medium's
+        hardware acknowledgement already serves as it."""
+        if self.medium.provides_delivery_ack:
+            return
+        if segment.src_node == self.node_id:
+            return
+        self.stats.acks_sent += 1
+        ack = Frame(kind=FrameKind.ACK, src_node=self.node_id,
+                    dst_node=segment.src_node,
+                    payload=("e2e-ack", segment.uid),
+                    size_bytes=self.config.ack_bytes)
+        self.iface.send(ack)
+
+    def _on_media_ack(self, frame: Frame, ok: bool) -> None:
+        """Hardware delivery acknowledgement from the medium."""
+        if frame.kind is not FrameKind.DATA:
+            return
+        segment: Segment = frame.payload
+        if not segment.guaranteed:
+            return
+        out = self._in_flight.get(segment.uid)
+        if out is None:
+            return
+        if ok:
+            self._complete(segment.uid)
+        else:
+            # Recorder missed it (or receiver down): schedule the
+            # retransmission — "the blocking and resending continues
+            # until the recorder successfully records the message"
+            # (§4.4.1). The full timeout is used so the retry budget
+            # spans realistic outages (a node reboot, a recorder
+            # restart) rather than burning out in seconds.
+            if out.timer is not None:
+                out.timer.cancel()
+            out.timer = self.engine.schedule(
+                self.config.retransmit_timeout_ms, self._on_timeout, out)
+
+    # ------------------------------------------------------------------
+    # crash / restart support
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Drop all volatile transport state and detach from the medium."""
+        self.iface.up = False
+        for out in self._in_flight.values():
+            if out.timer is not None:
+                out.timer.cancel()
+        self._in_flight.clear()
+        self._outq.clear()
+        self._dedup.clear()
+        self._next_stream_seq.clear()
+        self._expected_seq.clear()
+        self._reorder.clear()
+
+    def restart(self) -> None:
+        """Come back up with empty queues (volatile state was lost)."""
+        self.iface.up = True
+
+    @property
+    def queue_depth(self) -> int:
+        """Messages queued or in flight (diagnostics)."""
+        return len(self._outq) + len(self._in_flight)

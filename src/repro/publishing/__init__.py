@@ -1,0 +1,58 @@
+"""Published communications — the paper's primary contribution (Ch. 3-4).
+
+* :mod:`repro.publishing.disk` — the recorder's disk model (3 ms
+  latency, 2 MB/s transfer, 4 KB page buffering and compaction);
+* :mod:`repro.publishing.stable_storage` — battery-backed stable store;
+* :mod:`repro.publishing.database` — the per-process database of §4.5;
+* :mod:`repro.publishing.recorder` — the passive recorder;
+* :mod:`repro.publishing.watchdog` — timeout crash detection (§4.6);
+* :mod:`repro.publishing.recovery_manager` — recovery manager and
+  recovery processes (§3.3.3, §4.7), the recorder restart protocol
+  (§3.3.4, §3.4), and recursive-crash handling (§3.5);
+* :mod:`repro.publishing.checkpoints` — checkpoint policies, including
+  Young's optimal interval (§3.2.4) and the recovery-time bound (§3.2.3);
+* :mod:`repro.publishing.recovery_time` — the §3.2.3 t_max model;
+* :mod:`repro.publishing.multi_recorder` — priority-vector coordination
+  of several recorders (§6.3);
+* :mod:`repro.publishing.node_recovery` — node-as-unit recovery with a
+  deterministic scheduler (§6.6.2).
+"""
+
+from repro.publishing.disk import DiskModel, DiskParams, DiskArray
+from repro.publishing.stable_storage import StableStorage
+from repro.publishing.database import ProcessRecord, LoggedMessage, RecorderDatabase
+from repro.publishing.recovery_time import RecoveryTimeModel, RecoveryTimeParams
+from repro.publishing.checkpoints import (
+    young_interval,
+    CheckpointPolicy,
+    YoungIntervalPolicy,
+    RecoveryTimeBoundPolicy,
+    StorageBalancePolicy,
+)
+from repro.publishing.watchdog import Watchdog
+from repro.publishing.recorder import Recorder, RecorderConfig
+from repro.publishing.recovery_manager import RecoveryManager
+from repro.publishing.multi_recorder import PriorityVectors, MultiRecorderCoordinator
+
+__all__ = [
+    "DiskModel",
+    "DiskParams",
+    "DiskArray",
+    "StableStorage",
+    "ProcessRecord",
+    "LoggedMessage",
+    "RecorderDatabase",
+    "RecoveryTimeModel",
+    "RecoveryTimeParams",
+    "young_interval",
+    "CheckpointPolicy",
+    "YoungIntervalPolicy",
+    "RecoveryTimeBoundPolicy",
+    "StorageBalancePolicy",
+    "Watchdog",
+    "Recorder",
+    "RecorderConfig",
+    "RecoveryManager",
+    "PriorityVectors",
+    "MultiRecorderCoordinator",
+]

@@ -1,0 +1,265 @@
+"""The recorder's per-process database (§4.5).
+
+"Each entry in the data base contains the following information: the
+process identifier, the identifier of the most recent message sent by
+the process, a list of ids of messages received by the process (since
+the last checkpoint), the file name of the last checkpoint for the
+process, the id of the first valid message, a list of disk pages
+containing messages to the process, and whether or not the process is
+recovering."
+
+Two reconstruction problems are solved here:
+
+* **Which recorded messages were consumed before a checkpoint?** The
+  kernel's out-of-order-read advisories (§4.4.2) plus the consumed count
+  carried in the checkpoint control let :meth:`ProcessRecord.consumed_ids`
+  re-simulate the process's queue: non-advised receives take the queue
+  head; an advisory ``(read, head)`` fires when its recorded head matches
+  the simulated head. Those messages are invalid — checkpointed state
+  already reflects them.
+* **What must be replayed, in what order?** Valid queue messages in
+  arrival order (the recovering process's own deterministic channel
+  selections then reproduce the original consumption pattern), with
+  process-control (DELIVERTOKERNEL) messages interleaved at their
+  arrival positions (§4.4.3: "their ordering is preserved with respect
+  to all other messages").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.demos.ids import MessageId, ProcessId
+from repro.demos.links import Link
+from repro.demos.messages import Message
+from repro.errors import RecorderError
+
+
+@dataclass
+class LoggedMessage:
+    """One published message in a process's stream."""
+
+    message: Message
+    arrival_index: int
+    invalid: bool = False
+
+    @property
+    def is_control(self) -> bool:
+        """True for DELIVERTOKERNEL traffic (never enters the queue)."""
+        return self.message.deliver_to_kernel
+
+    @property
+    def is_marker(self) -> bool:
+        return self.message.recovery_marker
+
+
+@dataclass
+class CheckpointEntry:
+    """The most recent stored checkpoint for a process."""
+
+    data: Dict[str, Any]      # kernel snapshot: program state, links, counters
+    consumed: int             # queue messages consumed when it was taken
+    dtk_processed: int        # control messages processed when it was taken
+    send_seq: int             # the process's send sequence at the snapshot
+    pages: int                # checkpoint size, in pages
+    stored_at: float          # simulated time it reached stable storage
+
+
+@dataclass
+class ProcessRecord:
+    """Everything the recorder knows about one process."""
+
+    pid: ProcessId
+    node: int
+    image: str
+    args: Tuple = ()
+    initial_links: Tuple[Link, ...] = ()
+    recoverable: bool = True
+    state_pages: int = 4
+    last_sent_seq: int = 0
+    arrivals: List[LoggedMessage] = field(default_factory=list)
+    recorded_ids: Set[MessageId] = field(default_factory=set)
+    #: messages overheard and durably stored but whose delivery to the
+    #: destination node has not yet been observed (§4.4.1 ack tracing)
+    staged: Dict[MessageId, Message] = field(default_factory=dict)
+    staged_ids: Set[MessageId] = field(default_factory=set)
+    #: delivery confirmations of this process's *sends*: the contiguous
+    #: confirmed prefix is the safe send-suppression horizon — anything
+    #: beyond it may never have reached its receiver and must be re-sent
+    #: by the recovered process (receivers deduplicate).
+    confirmed_send_seqs: Set[int] = field(default_factory=set)
+    confirmed_prefix: int = 0
+    #: (read_id, head_id) pairs in the temporal order they were reported
+    advisories: List[Tuple[MessageId, MessageId]] = field(default_factory=list)
+    checkpoint: Optional[CheckpointEntry] = None
+    recovering: bool = False
+    recovery_epoch: int = 0    # bumped to cancel a superseded recovery (§3.5)
+    destroyed: bool = False
+
+    # ------------------------------------------------------------------
+    def record_message(self, message: Message, arrival_index: int) -> bool:
+        """Store one overheard message; returns False for duplicates."""
+        if message.msg_id in self.recorded_ids:
+            return False
+        self.recorded_ids.add(message.msg_id)
+        self.arrivals.append(LoggedMessage(message, arrival_index))
+        return True
+
+    def note_sent(self, seq: int) -> None:
+        """Track the highest send sequence seen from this process."""
+        if seq > self.last_sent_seq:
+            self.last_sent_seq = seq
+
+    def stage_message(self, message: Message) -> bool:
+        """Durably store an overheard message ahead of its delivery
+        confirmation; returns False for duplicates."""
+        if message.msg_id in self.staged_ids or message.msg_id in self.recorded_ids:
+            return False
+        self.staged_ids.add(message.msg_id)
+        self.staged[message.msg_id] = message
+        return True
+
+    def confirm_message(self, message: Message, arrival_index: int) -> bool:
+        """The destination received this message: append it to the
+        replay log in reception order. Returns False if already there."""
+        self.staged.pop(message.msg_id, None)
+        return self.record_message(message, arrival_index)
+
+    def note_send_confirmed(self, seq: int) -> None:
+        """One of this process's sends reached its destination; advance
+        the contiguous confirmed prefix."""
+        self.confirmed_send_seqs.add(seq)
+        while self.confirmed_prefix + 1 in self.confirmed_send_seqs:
+            self.confirmed_prefix += 1
+            self.confirmed_send_seqs.discard(self.confirmed_prefix)
+
+    def add_advisory(self, read_id: MessageId, head_id: MessageId) -> None:
+        """Record an out-of-order channel read (§4.4.2)."""
+        self.advisories.append((read_id, head_id))
+
+    # ------------------------------------------------------------------
+    def consumed_ids(self, consumed_count: int) -> Set[MessageId]:
+        """Re-simulate the process's queue to find which of the recorded
+        messages were the first ``consumed_count`` consumptions."""
+        queue = deque(lm.message.msg_id for lm in self.arrivals
+                      if not lm.is_control and not lm.is_marker)
+        advisories = deque(self.advisories)
+        consumed: Set[MessageId] = set()
+        while len(consumed) < consumed_count and queue:
+            if advisories and advisories[0][1] == queue[0]:
+                read_id, _head = advisories.popleft()
+                try:
+                    queue.remove(read_id)
+                except ValueError:
+                    raise RecorderError(
+                        f"advisory for {read_id} does not match the log of {self.pid}")
+                consumed.add(read_id)
+            else:
+                consumed.add(queue.popleft())
+        return consumed
+
+    def apply_checkpoint(self, entry: CheckpointEntry) -> int:
+        """Install a new checkpoint and invalidate the messages its state
+        already reflects. Returns how many messages were invalidated —
+        "after the checkpoint has been reliably stored, older checkpoints
+        and messages can be discarded" (§3.3.1)."""
+        self.checkpoint = entry
+        consumed = self.consumed_ids(entry.consumed)
+        invalidated = 0
+        controls_seen = 0
+        for lm in self.arrivals:
+            if lm.invalid:
+                if lm.is_control:
+                    controls_seen += 1
+                continue
+            if lm.is_control:
+                controls_seen += 1
+                if controls_seen <= entry.dtk_processed:
+                    lm.invalid = True
+                    invalidated += 1
+            elif lm.message.msg_id in consumed:
+                lm.invalid = True
+                invalidated += 1
+        # Advisories are kept: checkpoint consumed-counts are cumulative,
+        # so later invalidation passes re-simulate from process creation.
+        return invalidated
+
+    # ------------------------------------------------------------------
+    def replay_stream(self) -> List[LoggedMessage]:
+        """The valid messages to replay, in arrival order.
+
+        Markers are included so the recovery process can find its own
+        hand-back marker; it skips any others.
+        """
+        return [lm for lm in self.arrivals if not lm.invalid]
+
+    def valid_message_bytes(self) -> int:
+        """Stored bytes still needed for recovery (storage accounting)."""
+        return sum(lm.message.size_bytes for lm in self.arrivals if not lm.invalid)
+
+    def first_valid_id(self) -> Optional[MessageId]:
+        """'The id of the first valid message' (§4.5)."""
+        for lm in self.arrivals:
+            if not lm.invalid and not lm.is_marker:
+                return lm.message.msg_id
+        return None
+
+
+class RecorderDatabase:
+    """pid → :class:`ProcessRecord`, plus global arrival numbering.
+
+    "The process data base is just a summary of the information that
+    appears on disk. If the recorder crashes, it is possible to rebuild
+    the data base from the disk" (§4.5) — accordingly the database
+    object itself lives inside the recorder's stable storage.
+    """
+
+    def __init__(self) -> None:
+        self.records: Dict[ProcessId, ProcessRecord] = {}
+        self.next_arrival_index = 0
+
+    def create(self, pid: ProcessId, node: int, image: str, args: Tuple = (),
+               initial_links: Tuple[Link, ...] = (), recoverable: bool = True,
+               state_pages: int = 4) -> ProcessRecord:
+        """Register a process from its creation notice; idempotent."""
+        existing = self.records.get(pid)
+        if existing is not None and not existing.destroyed:
+            return existing
+        record = ProcessRecord(pid=pid, node=node, image=image, args=tuple(args),
+                               initial_links=tuple(initial_links),
+                               recoverable=recoverable, state_pages=state_pages)
+        self.records[pid] = record
+        return record
+
+    def get(self, pid: ProcessId) -> Optional[ProcessRecord]:
+        return self.records.get(pid)
+
+    def require(self, pid: ProcessId) -> ProcessRecord:
+        record = self.records.get(pid)
+        if record is None:
+            raise RecorderError(f"no database entry for process {pid}")
+        return record
+
+    def allocate_arrival_index(self) -> int:
+        index = self.next_arrival_index
+        self.next_arrival_index += 1
+        return index
+
+    def processes_on(self, node: int) -> List[ProcessRecord]:
+        """Live, recoverable records located on ``node``."""
+        return [r for r in self.records.values()
+                if r.node == node and not r.destroyed and r.recoverable]
+
+    def live_records(self) -> List[ProcessRecord]:
+        return [r for r in self.records.values() if not r.destroyed]
+
+    def total_valid_bytes(self) -> int:
+        """Message + checkpoint storage still held (§5.1's 2.76 MB stat)."""
+        total = 0
+        for record in self.records.values():
+            total += record.valid_message_bytes()
+            if record.checkpoint is not None:
+                total += record.checkpoint.pages * 1024
+        return total

@@ -1,0 +1,140 @@
+"""Multiple recorders for availability (§6.3).
+
+"Assume a broadcast network with n processing nodes, labeled P_i, and m
+recorders, labeled R_j. At any one time only one recorder is allowed to
+recover any particular processing node. We achieve this by assigning an
+m element vector, V_i, to each processing node P_i. Each vector
+describes a priority ordering for all the recorders. If processor P_i
+fails, it is recovered by the highest priority recorder in V_i which is
+functioning."
+
+The medium-level half of the design ("each message must have an
+acknowledge from all recorders") lives in
+:meth:`repro.net.media.Medium._record_frame`; this module implements the
+recovery-coordination half: a recorder that notices a node failure
+offers the job to every higher-priority recorder and recovers the node
+itself only when none of them answers within the interval — and keeps
+requerying, so a higher-priority recorder that dies mid-recovery does
+not leave the node dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.demos.messages import Control
+from repro.errors import RecoveryError
+from repro.sim.engine import Engine
+
+
+@dataclass
+class PriorityVectors:
+    """V_i for every processing node: recorder node ids, highest first."""
+
+    vectors: Dict[int, List[int]] = field(default_factory=dict)
+
+    def for_node(self, node_id: int) -> List[int]:
+        try:
+            return self.vectors[node_id]
+        except KeyError:
+            raise RecoveryError(f"no priority vector for node {node_id}") from None
+
+    def higher_priority(self, node_id: int, recorder_id: int) -> List[int]:
+        """Recorders ranked above ``recorder_id`` for ``node_id``."""
+        vector = self.for_node(node_id)
+        if recorder_id not in vector:
+            return list(vector)
+        return vector[: vector.index(recorder_id)]
+
+
+class MultiRecorderCoordinator:
+    """The per-recorder side of the §6.3 protocol.
+
+    Wire it to a :class:`RecoveryManager` by assigning it to
+    ``manager.coordinator``; the manager consults :meth:`claim` before
+    recovering a silent node.
+    """
+
+    def __init__(self, engine: Engine, manager, vectors: PriorityVectors,
+                 answer_timeout_ms: float = 800.0,
+                 requery_interval_ms: float = 4000.0):
+        self.engine = engine
+        self.manager = manager
+        self.recorder = manager.recorder
+        self.my_id = self.recorder.config.node_id
+        self.vectors = vectors
+        self.answer_timeout_ms = answer_timeout_ms
+        self.requery_interval_ms = requery_interval_ms
+        self._accepts: Dict[int, Set[int]] = {}     # node -> accepting recorders
+        self._negotiating: Set[int] = set()
+        self.offers_received = 0
+        self.offers_sent = 0
+        self.takeovers = 0
+        self.recorder.on_control("recover_offer", self._on_offer)
+        self.recorder.on_control("recover_answer", self._on_answer)
+
+    # ------------------------------------------------------------------
+    def claim(self, node_id: int) -> bool:
+        """Should *this* recorder recover ``node_id`` right now?
+
+        True when it is the highest-priority recorder in V_i; otherwise a
+        negotiation activity is spawned and False is returned — the node
+        will still be recovered, by whoever wins.
+        """
+        higher = self.vectors.higher_priority(node_id, self.my_id)
+        if not higher:
+            return True
+        if node_id not in self._negotiating:
+            self._negotiating.add(node_id)
+            self.engine.spawn(self._negotiate(node_id, higher))
+        return False
+
+    def _negotiate(self, node_id: int, higher: List[int]):
+        self._accepts[node_id] = set()
+        for recorder_id in higher:
+            self.offers_sent += 1
+            self.recorder.send_control(recorder_id, Control("recover_offer", {
+                "node": node_id, "from": self.my_id,
+            }), guaranteed=False)
+        yield self.answer_timeout_ms
+        accepted = self._accepts.get(node_id, set())
+        if not accepted & set(higher):
+            # "If they are not, or they do not answer in a set interval,
+            # R performs the recovery."
+            self.takeovers += 1
+            self.manager.recover_node(node_id)
+            self._negotiating.discard(node_id)
+            return
+        # Someone better took the job; keep watching in case it dies
+        # during the recovery.
+        yield self.requery_interval_ms
+        self._negotiating.discard(node_id)
+        if self._node_still_silent(node_id):
+            self.claim(node_id) and self.manager.recover_node(node_id)
+
+    def _node_still_silent(self, node_id: int) -> bool:
+        dog = self.manager.watchdogs.get(node_id)
+        if dog is None:
+            return False
+        return (self.engine.now - dog._last_reply) > dog.timeout_ms
+
+    # ------------------------------------------------------------------
+    def _on_offer(self, control: Control, src_node: int) -> None:
+        """A lower-priority recorder asks us to recover a node."""
+        self.offers_received += 1
+        if not self.recorder.up:
+            return
+        node_id = control["node"]
+        self.recorder.send_control(control["from"], Control("recover_answer", {
+            "node": node_id, "recorder": self.my_id, "accept": True,
+        }), guaranteed=False)
+        # Avoid double recovery if several offers arrive for one crash.
+        records = self.recorder.db.processes_on(node_id)
+        if records and all(r.recovering for r in records):
+            return
+        self.manager.recover_node(node_id)
+
+    def _on_answer(self, control: Control, src_node: int) -> None:
+        if control.get("accept"):
+            self._accepts.setdefault(control["node"], set()).add(control["recorder"])

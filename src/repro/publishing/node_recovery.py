@@ -1,0 +1,235 @@
+"""Node-as-unit recovery with a deterministic scheduler (§6.6.2).
+
+"The greatest steady state cost incurred by publishing messages is the
+routing of intranode messages onto the network. ... For these systems,
+we would like to treat the complete node as a single process. To do
+this, the node's behavior will have to be deterministic upon its input
+messages."
+
+This module is a self-contained model of the §6.6.2 design:
+
+* a **deterministic round-robin scheduler** — "the scheduler always runs
+  the first process in the queue. The process runs until it has executed
+  a predetermined number of instructions or until it attempts to read a
+  message and none exist in its queue" — with "instructions" counted as
+  message-handling steps (the thesis's fallback: "the scheduling
+  algorithm can count some other quantity such as the number of kernel
+  calls");
+* intranode messages that never touch the network;
+* extranode inputs synchronized to the instruction stream: on receipt
+  the node tells the recorder the current instruction count, and during
+  recovery each extranode message is re-injected exactly when the count
+  reaches the recorded value.
+
+Given the same extranode inputs at the same counts, a re-run of the node
+is bit-identical — both §6.6.2 properties (same per-process receive
+order, same interleaving of sends) follow, which the tests check
+directly.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+#: A handler: (state, message) -> (new_state, [(dst_name, message), ...]).
+#: ``dst_name`` may be a local process name or ("ext", anything) for an
+#: extranode send.
+Handler = Callable[[Dict[str, Any], Any], Tuple[Dict[str, Any], List[Tuple[Any, Any]]]]
+
+
+@dataclass
+class _LocalProcess:
+    name: str
+    handler: Handler
+    state: Dict[str, Any]
+    inbox: Deque[Any] = field(default_factory=deque)
+
+
+@dataclass(frozen=True)
+class ExtranodeEvent:
+    """One extranode input with the instruction count at its receipt."""
+
+    instruction_count: int
+    dst: str
+    payload: Any
+
+
+@dataclass
+class NodeCheckpoint:
+    """A whole-node checkpoint taken at an instruction boundary."""
+
+    instruction_count: int
+    extranode_sends: int
+    states: Dict[str, Dict[str, Any]]
+    inboxes: Dict[str, Tuple]
+    run_queue: Tuple[str, ...]
+
+
+class DeterministicNode:
+    """A node whose entire behaviour is deterministic on extranode input.
+
+    ``quantum`` is the §6.6.2 scheduler's "predetermined number of
+    instructions" a process may run before yielding.
+    """
+
+    def __init__(self, quantum: int = 4,
+                 on_extranode_send: Optional[Callable[[Any, Any], None]] = None,
+                 on_receipt_report: Optional[Callable[[ExtranodeEvent], None]] = None):
+        self.quantum = quantum
+        self.processes: Dict[str, _LocalProcess] = {}
+        self.run_queue: Deque[str] = deque()
+        self._running: Optional[str] = None
+        self.instruction_count = 0
+        self.extranode_sends = 0
+        self.on_extranode_send = on_extranode_send
+        self.on_receipt_report = on_receipt_report
+        #: extranode inputs waiting for their injection point (recovery)
+        self._replay: Deque[ExtranodeEvent] = deque()
+        self._suppress_ext_sends_through = 0
+        self.ext_send_log: List[Tuple[int, Any, Any]] = []
+
+    # ------------------------------------------------------------------
+    def add_process(self, name: str, handler: Handler,
+                    state: Optional[Dict[str, Any]] = None) -> None:
+        if name in self.processes:
+            raise RecoveryError(f"process {name!r} already exists")
+        self.processes[name] = _LocalProcess(name, handler, dict(state or {}))
+
+    def send_local(self, name: str, payload: Any) -> None:
+        """Deliver an intranode message (never broadcast)."""
+        proc = self.processes[name]
+        was_empty = not proc.inbox
+        proc.inbox.append(payload)
+        if (was_empty and name not in self.run_queue
+                and name != self._running):
+            # "Processes waiting for messages are put back at the head of
+            # the queue whenever a message becomes available."
+            self.run_queue.appendleft(name)
+
+    def receive_extranode(self, dst: str, payload: Any) -> ExtranodeEvent:
+        """An extranode message arrives: synchronize it with the
+        instruction stream and report the count to the recorder."""
+        event = ExtranodeEvent(self.instruction_count, dst, payload)
+        if self.on_receipt_report is not None:
+            self.on_receipt_report(event)
+        self.send_local(dst, payload)
+        return event
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one scheduler step (one instruction). Returns False when
+        nothing is runnable and no replay input is pending."""
+        self._inject_due_replays()
+        if not self.run_queue:
+            if self._replay:
+                # Recovery: idle until the next recorded injection point.
+                self.instruction_count += 1
+                return True
+            return False
+        name = self.run_queue.popleft()
+        self._running = name
+        proc = self.processes[name]
+        executed = 0
+        while executed < self.quantum:
+            if not proc.inbox:
+                break
+            message = proc.inbox.popleft()
+            new_state, sends = proc.handler(dict(proc.state), message)
+            proc.state = new_state
+            self.instruction_count += 1
+            executed += 1
+            for dst, payload in sends:
+                if isinstance(dst, tuple) and dst and dst[0] == "ext":
+                    self._send_extranode(dst, payload)
+                else:
+                    self.send_local(dst, payload)
+            self._inject_due_replays()
+        self._running = None
+        if proc.inbox:
+            self.run_queue.append(name)   # quantum expired: back of the line
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until quiescent; returns instructions executed."""
+        start = self.instruction_count
+        for _ in range(max_steps):
+            if not self.step():
+                break
+        return self.instruction_count - start
+
+    def _send_extranode(self, dst: Tuple, payload: Any) -> None:
+        self.extranode_sends += 1
+        self.ext_send_log.append((self.instruction_count, dst, payload))
+        if self.extranode_sends <= self._suppress_ext_sends_through:
+            return    # regenerated during recovery; already on the wire
+        if self.on_extranode_send is not None:
+            self.on_extranode_send(dst, payload)
+
+    def _inject_due_replays(self) -> None:
+        while self._replay and self._replay[0].instruction_count <= self.instruction_count:
+            event = self._replay.popleft()
+            self.send_local(event.dst, event.payload)
+
+    # ------------------------------------------------------------------
+    # checkpoint / recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> NodeCheckpoint:
+        """Snapshot the whole node at the current instruction boundary."""
+        return NodeCheckpoint(
+            instruction_count=self.instruction_count,
+            extranode_sends=self.extranode_sends,
+            states={n: copy.deepcopy(p.state) for n, p in self.processes.items()},
+            inboxes={n: tuple(p.inbox) for n, p in self.processes.items()},
+            run_queue=tuple(self.run_queue),
+        )
+
+    def restore(self, checkpoint: NodeCheckpoint,
+                replay_events: List[ExtranodeEvent],
+                suppress_ext_sends_through: Optional[int] = None) -> None:
+        """Rebuild the node from a checkpoint plus the recorded
+        extranode events after it. Handlers stay registered; everything
+        else is replaced."""
+        self.instruction_count = checkpoint.instruction_count
+        self.extranode_sends = checkpoint.extranode_sends
+        for name, proc in self.processes.items():
+            proc.state = copy.deepcopy(checkpoint.states[name])
+            proc.inbox = deque(checkpoint.inboxes[name])
+        self.run_queue = deque(checkpoint.run_queue)
+        self._replay = deque(e for e in replay_events
+                             if e.instruction_count >= checkpoint.instruction_count)
+        if suppress_ext_sends_through is None:
+            suppress_ext_sends_through = self.extranode_sends
+        self._suppress_ext_sends_through = suppress_ext_sends_through
+        self.ext_send_log = []
+
+
+class NodeRecorder:
+    """The recorder's view of one deterministic node: extranode inputs
+    with counts, plus the count of extranode outputs seen."""
+
+    def __init__(self) -> None:
+        self.events: List[ExtranodeEvent] = []
+        self.ext_sends_seen = 0
+        self.checkpoint: Optional[NodeCheckpoint] = None
+
+    def report_receipt(self, event: ExtranodeEvent) -> None:
+        self.events.append(event)
+
+    def note_ext_send(self) -> None:
+        self.ext_sends_seen += 1
+
+    def store_checkpoint(self, checkpoint: NodeCheckpoint) -> None:
+        self.checkpoint = checkpoint
+
+    def recover(self, node: DeterministicNode) -> None:
+        """Restore a crashed node from the stored checkpoint (or a fresh
+        boot) and its recorded extranode history."""
+        if self.checkpoint is None:
+            raise RecoveryError("no node checkpoint stored")
+        node.restore(self.checkpoint, list(self.events),
+                     suppress_ext_sends_through=self.ext_sends_seen)

@@ -1,0 +1,350 @@
+"""The passive recorder (§3.3, §4.5).
+
+"A recording node is attached to the network via a special interface.
+The node is in charge of recording all messages on the network and of
+initiating and directing all recovery operations."
+
+The recorder's network interface is flagged ``is_recorder``: every
+medium model delivers it every frame, and withholds its acknowledgement
+(dropping the frame for everyone) when the recorder failed to receive a
+message correctly. The transport-level ``tap`` hands each valid frame to
+:meth:`Recorder.observe_frame`, which:
+
+* records guaranteed DEMOS messages into the destination process's
+  database entry, charging the configured per-message publishing CPU
+  cost (§5.2.2: 57 ms full protocol / 12 ms inlined / 0.8 ms media tap);
+* tracks the highest send sequence per sender (for send suppression);
+* buffers message bytes toward 4 KB disk pages (§4.5).
+
+Controls addressed to the recorder node (creation/destruction notices,
+checkpoints, read-order advisories, crash reports) update the database;
+recovery-oriented replies are routed to the recovery manager.
+
+The database object lives inside :class:`StableStorage`, so it survives
+``crash()`` — "the process data base is just a summary of the
+information that appears on disk" — while watchdogs and in-flight
+recovery activities are volatile and must be rebuilt by the §3.3.4
+restart protocol, which the recovery manager drives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.demos.costs import CostModel
+from repro.demos.ids import MessageId, ProcessId
+from repro.demos.messages import Control, Message
+from repro.net.frames import Frame, FrameKind
+from repro.net.media import Medium
+from repro.net.transport import Segment, Transport, TransportConfig
+from repro.publishing.database import CheckpointEntry, ProcessRecord, RecorderDatabase
+from repro.publishing.disk import DiskArray, DiskParams, PageBuffer
+from repro.publishing.stable_storage import StableStorage
+from repro.sim.engine import Engine, Signal
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class RecorderConfig:
+    """Recorder tunables."""
+
+    node_id: int = 99
+    #: recorder software path (§5.2.2): full_protocol | inlined | media_tap
+    publish_path: str = "media_tap"
+    disks: int = 1
+    disk_params: DiskParams = field(default_factory=DiskParams)
+    buffered_writes: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    #: §6.6.1 — pids registered as unrecoverable are not published
+    selective: bool = True
+
+
+class Recorder:
+    """The publishing recorder node."""
+
+    #: Database-updating control kinds learned by passive listening, so
+    #: every recorder on the medium — not just the addressed one — keeps
+    #: a complete database (§6.3 multi-recorder requirement).
+    DB_CONTROL_KINDS = frozenset({
+        "process_created", "process_destroyed", "checkpoint", "read_order",
+    })
+
+    def __init__(self, engine: Engine, medium: Medium,
+                 config: Optional[RecorderConfig] = None,
+                 stable: Optional[StableStorage] = None,
+                 trace: Optional[TraceLog] = None):
+        self.engine = engine
+        self.medium = medium
+        self.config = config or RecorderConfig()
+        self.trace = trace if trace is not None else TraceLog(lambda: engine.now)
+        self.stable = stable or StableStorage()
+        db = self.stable.get("db")
+        if db is None:
+            db = RecorderDatabase()
+            self.stable.put("db", db)
+        self.db: RecorderDatabase = db
+        self.disks = DiskArray(engine, self.config.disks, self.config.disk_params)
+        self.buffer = PageBuffer(self.disks, buffered=self.config.buffered_writes)
+        self.up = True
+        self.cpu_busy_ms = 0.0
+        self.messages_recorded = 0
+        self.duplicates_ignored = 0
+        self._control_handlers: Dict[str, Callable[[Control, int], None]] = {}
+        self._arrival_signals: Dict[ProcessId, Signal] = {}
+        self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._marker_seq = itertools.count(1)
+        self.transport = Transport(engine, medium, self.config.node_id,
+                                   self._on_segment, self.config.transport,
+                                   is_recorder=True, tap=self.observe_frame)
+        # §4.4.1 ack tracing: the medium tells us when destinations
+        # actually receive frames, fixing the log's reception order.
+        self.transport.iface.on_delivery = self.observe_delivery
+        self._register_builtin_handlers()
+
+    # ------------------------------------------------------------------
+    # passive listening
+    # ------------------------------------------------------------------
+    def observe_frame(self, frame: Frame) -> None:
+        """Passive listening: record every guaranteed DEMOS message heard
+        on the medium, and absorb every database-updating control notice
+        regardless of which recorder it was addressed to."""
+        if not self.up:
+            return
+        if frame.kind is not FrameKind.DATA:
+            return
+        segment = frame.payload
+        if not isinstance(segment, Segment) or not segment.guaranteed:
+            return
+        body = segment.body
+        if isinstance(body, Message):
+            self.record_message(body)
+        elif isinstance(body, Control) and body.kind in self.DB_CONTROL_KINDS:
+            # The tap fires before transport dedup, so retransmitted
+            # notices must be filtered here (a duplicate read_order
+            # advisory would corrupt the consumption simulation).
+            key = (frame.src_node, body.uid)
+            if key in self._seen_control_uids:
+                return
+            self._seen_control_uids[key] = None
+            while len(self._seen_control_uids) > 8192:
+                self._seen_control_uids.popitem(last=False)
+            handler = self._control_handlers.get(body.kind)
+            if handler is not None:
+                handler(body, frame.src_node)
+
+    def record_message(self, message: Message) -> None:
+        """Stage one overheard message: database entry, CPU cost, disk
+        bytes. The message joins the replay log when its delivery is
+        observed (:meth:`observe_delivery`), in reception order."""
+        self.cpu_busy_ms += self.config.costs.publish_cpu_ms(self.config.publish_path)
+        sender = self.db.get(message.src)
+        if sender is not None:
+            sender.note_sent(message.msg_id.seq)
+        record = self.db.get(message.dst)
+        if record is None:
+            # Message overheard before (or without) a creation notice —
+            # keep it anyway; the notice will fill in the metadata.
+            record = self.db.create(message.dst, node=message.dst.node, image="")
+        if self.config.selective and not record.recoverable:
+            return    # §6.6.1: not published, not recovered
+        if not record.stage_message(message):
+            self.duplicates_ignored += 1
+            return
+        self.buffer.add(message.size_bytes)
+
+    def observe_delivery(self, frame: Frame) -> None:
+        """§4.4.1: the destination received this frame — append the
+        staged message to the replay log and credit the sender's
+        delivery-confirmed prefix."""
+        if not self.up or frame.kind is not FrameKind.DATA:
+            return
+        segment = frame.payload
+        if not isinstance(segment, Segment) or not segment.guaranteed:
+            return
+        message = segment.body
+        if not isinstance(message, Message):
+            return
+        record = self.db.get(message.dst)
+        if record is None or (self.config.selective and not record.recoverable):
+            return
+        if not record.confirm_message(message,
+                                      self.db.allocate_arrival_index()):
+            return          # duplicate delivery observation
+        self.messages_recorded += 1
+        sender = self.db.get(message.src)
+        if sender is not None:
+            sender.note_send_confirmed(message.msg_id.seq)
+        self.trace.emit("publish", str(message.dst), msg=str(message.msg_id))
+        signal = self._arrival_signals.get(message.dst)
+        if signal is not None:
+            signal.fire(message.msg_id)
+
+    def arrival_signal(self, pid: ProcessId) -> Signal:
+        """A signal fired whenever a new message for ``pid`` is recorded
+        (recovery processes wait on this while catching up)."""
+        if pid not in self._arrival_signals:
+            self._arrival_signals[pid] = self.engine.signal(f"arrivals/{pid}")
+        return self._arrival_signals[pid]
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _on_segment(self, segment: Segment) -> None:
+        if not self.up:
+            return
+        body = segment.body
+        if isinstance(body, Control):
+            if body.kind in self.DB_CONTROL_KINDS:
+                return   # already absorbed via the passive tap
+            handler = self._control_handlers.get(body.kind)
+            if handler is not None:
+                handler(body, segment.src_node)
+
+    def on_control(self, kind: str,
+                   handler: Callable[[Control, int], None]) -> None:
+        """Register a handler for a control kind (recovery manager etc.)."""
+        self._control_handlers[kind] = handler
+
+    def _register_builtin_handlers(self) -> None:
+        self.on_control("process_created", self._on_process_created)
+        self.on_control("process_destroyed", self._on_process_destroyed)
+        self.on_control("checkpoint", self._on_checkpoint)
+        self.on_control("read_order", self._on_read_order)
+
+    def _on_process_created(self, control: Control, src_node: int) -> None:
+        pid = ProcessId(*control["pid"])
+        record = self.db.get(pid)
+        if record is None or record.destroyed:
+            self.db.create(pid, node=control["node"], image=control["image"],
+                           args=tuple(control["args"]),
+                           initial_links=tuple(control.get("initial_links", ())),
+                           recoverable=control.get("recoverable", True),
+                           state_pages=control.get("state_pages", 4))
+        elif record.image == "":
+            # Fill in a placeholder created by an early message.
+            record.image = control["image"]
+            record.args = tuple(control["args"])
+            record.initial_links = tuple(control.get("initial_links", ()))
+            record.recoverable = control.get("recoverable", True)
+            record.state_pages = control.get("state_pages", 4)
+            record.node = control["node"]
+        self.trace.emit("recorder", str(pid), event="created_notice")
+
+    def _on_process_destroyed(self, control: Control, src_node: int) -> None:
+        pid = ProcessId(*control["pid"])
+        record = self.db.get(pid)
+        if record is None:
+            return
+        record.destroyed = True
+        record.recovery_epoch += 1        # cancels any in-flight recovery
+        # "When the process is terminated, all messages queued for it are
+        # also discarded" — and so is its published history.
+        for lm in record.arrivals:
+            lm.invalid = True
+        self.trace.emit("recorder", str(pid), event="destroyed_notice")
+
+    def _on_checkpoint(self, control: Control, src_node: int) -> None:
+        pid = ProcessId(*control["pid"])
+        record = self.db.get(pid)
+        if record is None or record.destroyed:
+            return
+        entry = CheckpointEntry(
+            data=control["data"],
+            consumed=control["consumed"],
+            dtk_processed=control.get("dtk_processed", 0),
+            send_seq=control["send_seq"],
+            pages=control["pages"],
+            stored_at=self.engine.now,
+        )
+        size_bytes = entry.pages * self.config.costs.page_bytes
+        # Only after the checkpoint "has been reliably stored" may older
+        # messages be discarded (§3.3.1).
+        self.disks.submit("write", size_bytes,
+                          on_done=lambda: self._checkpoint_stored(record, entry))
+
+    def _checkpoint_stored(self, record: ProcessRecord, entry: CheckpointEntry) -> None:
+        if not self.up or record.destroyed:
+            return
+        invalidated = record.apply_checkpoint(entry)
+        self.trace.emit("recorder", str(record.pid), event="checkpoint_stored",
+                        invalidated=invalidated)
+
+    def _on_read_order(self, control: Control, src_node: int) -> None:
+        record = self.db.get(ProcessId(*control["pid"]))
+        if record is None:
+            return
+        read, head = control["read"], control["head"]
+        if head is None:
+            return
+        record.add_advisory(self._as_msg_id(read), self._as_msg_id(head))
+
+    @staticmethod
+    def _as_msg_id(value) -> MessageId:
+        if isinstance(value, MessageId):
+            return value
+        sender, seq = value
+        return MessageId(ProcessId(*sender), seq)
+
+    # ------------------------------------------------------------------
+    # messaging helpers for the recovery side
+    # ------------------------------------------------------------------
+    def send_control(self, dst_node: int, control: Control,
+                     guaranteed: bool = True, size_bytes: int = 64) -> None:
+        """Send a control datagram from the recorder node."""
+        self.transport.send(dst_node, control, size_bytes=size_bytes,
+                            uid=("rec", self.config.node_id, control.uid),
+                            guaranteed=guaranteed)
+
+    def make_marker(self, pid: ProcessId, epoch: int = 0) -> Message:
+        """Build the recovery hand-back marker for ``pid`` — an ordinary
+        published message whose position in the log marks the point after
+        which the recovering node holds live traffic. The epoch lets the
+        target kernel ignore markers from superseded recoveries (§3.5)."""
+        seq = next(self._marker_seq)
+        recorder_pid = ProcessId(self.config.node_id, 0)
+        return Message(msg_id=MessageId(recorder_pid, seq),
+                       src=recorder_pid, dst=pid, channel=0, code=0,
+                       body=("recovery_marker", epoch), size_bytes=32,
+                       recovery_marker=True)
+
+    def send_marker(self, marker: Message) -> None:
+        """Broadcast the marker like any published message."""
+        self.transport.send(marker.dst.node, marker,
+                            size_bytes=marker.size_bytes,
+                            uid=tuple(marker.msg_id))
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """The recorder fails. Stable storage (database, logs, buffer)
+        survives; everything volatile is lost and "all message traffic to
+        processes must be suspended" — the medium stops acknowledging."""
+        self.up = False
+        self.transport.crash()
+        self._arrival_signals.clear()
+        self.trace.emit("crash", "recorder")
+
+    def restart(self) -> "int":
+        """Power back up; returns the new restart number (§3.4). The
+        recovery manager must then run the §3.3.4 state-query protocol."""
+        restart_number = self.stable.begin_restart()
+        self.up = True
+        self.transport.restart()
+        self.db = self.stable.get("db")
+        self.trace.emit("restart", "recorder", restart_number=restart_number)
+        return restart_number
+
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed_ms: float) -> Dict[str, float]:
+        """CPU / disk utilisation snapshot (diagnostics)."""
+        if elapsed_ms <= 0:
+            return {"cpu": 0.0, "disk": 0.0}
+        return {
+            "cpu": min(1.0, self.cpu_busy_ms / elapsed_ms),
+            "disk": self.disks.utilization(elapsed_ms),
+        }

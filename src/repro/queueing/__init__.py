@@ -1,0 +1,48 @@
+"""The Chapter 5 queuing evaluation.
+
+"In order to get an estimate for resource requirements, we used a
+queuing system model to simulate a system. The model was an open
+queuing model and was solved using IBM's RESQ2 model solver" (§5.1).
+
+We solve the same Figure 5.1 open network two independent ways — an
+analytic product-form solver (:mod:`repro.queueing.solver`) and a
+discrete-event simulation (:mod:`repro.queueing.simulate`) — over the
+Figure 5.2 hardware parameters and the Figure 5.4 operating points, and
+search for the user capacity behind the thesis's headline claim that
+"the recorder, constructed from current technology, can support a system
+of up to 115 users".
+"""
+
+from repro.queueing.hardware import HardwareParams
+from repro.queueing.workload import (
+    OperatingPoint,
+    OPERATING_POINTS,
+    StateSizeDistribution,
+    checkpoint_traffic,
+)
+from repro.queueing.model import OpenQueueingModel, StationLoad
+from repro.queueing.solver import StationSolution, solve_station, solve_model
+from repro.queueing.simulate import SimulationResult, simulate_model
+from repro.queueing.capacity import (
+    capacity_in_users,
+    capacity_in_nodes,
+    storage_requirement_bytes,
+)
+
+__all__ = [
+    "HardwareParams",
+    "OperatingPoint",
+    "OPERATING_POINTS",
+    "StateSizeDistribution",
+    "checkpoint_traffic",
+    "OpenQueueingModel",
+    "StationLoad",
+    "StationSolution",
+    "solve_station",
+    "solve_model",
+    "SimulationResult",
+    "simulate_model",
+    "capacity_in_users",
+    "capacity_in_nodes",
+    "storage_requirement_bytes",
+]

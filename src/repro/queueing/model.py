@@ -1,0 +1,147 @@
+"""The Figure 5.1 open queuing model.
+
+"The processing nodes are represented as message sources. Messages are
+assumed to be delivered when they are broadcast, so the receiving nodes
+do not appear in the model. A return path was included from the recovery
+node to the network to take care of acknowledgments from the recording
+process."
+
+Three stations:
+
+* **network** — the broadcast channel (one server);
+* **cpu** — the recording node's processor, 0.8 ms per packet;
+* **disk** — 1-3 spindles; service per message is either a full disk
+  operation (per-message writes) or the amortized share of a 4 KB page
+  write (buffered mode, the §5.1 fix).
+
+Three customer classes: short messages (128 B), long messages (1024 B),
+and checkpoint messages (1024 B) whose rate follows the storage-balance
+checkpoint policy. The acknowledgement return path adds one small frame
+per data frame on the network station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import QueueingModelError
+from repro.queueing.hardware import HardwareParams
+from repro.queueing.workload import (
+    CHECKPOINT_MSG_BYTES,
+    LONG_BYTES,
+    SHORT_BYTES,
+    OperatingPoint,
+    checkpoint_traffic,
+)
+
+#: Size of the recorder's acknowledgement frame on the return path.
+ACK_BYTES = 32
+
+
+@dataclass(frozen=True)
+class StationLoad:
+    """Aggregate offered load at one station."""
+
+    name: str
+    arrival_rate_per_s: float       # customers per second
+    mean_service_ms: float          # per customer
+    servers: int = 1
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ·E[S]/c (may exceed 1 for an unstable station)."""
+        return (self.arrival_rate_per_s * self.mean_service_ms / 1000.0
+                / self.servers)
+
+    @property
+    def saturated(self) -> bool:
+        return self.utilization >= 1.0
+
+
+@dataclass
+class OpenQueueingModel:
+    """The Figure 5.1 network, parameterized by operating point, node
+    count, disk count, and write mode."""
+
+    point: OperatingPoint
+    nodes: int = 5
+    disks: int = 1
+    buffered_writes: bool = True
+    hardware: HardwareParams = field(default_factory=HardwareParams)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.disks < 1:
+            raise QueueingModelError("need at least one node and one disk")
+
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> int:
+        return self.nodes * self.point.users_per_node
+
+    def class_rates_per_s(self) -> Dict[str, float]:
+        """System-wide arrival rate of each message class."""
+        ckpt_rate, _ = checkpoint_traffic(self.point)
+        u = self.users
+        return {
+            "short": self.point.short_rate * u,
+            "long": self.point.long_rate * u,
+            "checkpoint": ckpt_rate * u,
+        }
+
+    def total_packet_rate_per_s(self) -> float:
+        return sum(self.class_rates_per_s().values())
+
+    # ------------------------------------------------------------------
+    def network_load(self) -> StationLoad:
+        hw = self.hardware
+        rates = self.class_rates_per_s()
+        total = sum(rates.values())
+        if total <= 0:
+            raise QueueingModelError("operating point generates no traffic")
+        service = (
+            rates["short"] * hw.wire_ms(SHORT_BYTES)
+            + rates["long"] * hw.wire_ms(LONG_BYTES)
+            + rates["checkpoint"] * hw.wire_ms(CHECKPOINT_MSG_BYTES)
+            # the acknowledgment return path: one ack frame per data frame
+            + total * hw.wire_ms(ACK_BYTES)
+        ) / (2 * total)
+        return StationLoad("network", arrival_rate_per_s=2 * total,
+                           mean_service_ms=service)
+
+    def cpu_load(self) -> StationLoad:
+        total = self.total_packet_rate_per_s()
+        return StationLoad("cpu", arrival_rate_per_s=total,
+                           mean_service_ms=self.hardware.packet_cpu_ms)
+
+    def disk_load(self) -> StationLoad:
+        hw = self.hardware
+        rates = self.class_rates_per_s()
+        total = sum(rates.values())
+        if self.buffered_writes:
+            per_byte = hw.disk_ms_per_byte_buffered()
+            service = (
+                rates["short"] * SHORT_BYTES
+                + rates["long"] * LONG_BYTES
+                + rates["checkpoint"] * CHECKPOINT_MSG_BYTES
+            ) * per_byte / total
+        else:
+            service = (
+                rates["short"] * hw.disk_op_ms(SHORT_BYTES)
+                + rates["long"] * hw.disk_op_ms(LONG_BYTES)
+                + rates["checkpoint"] * hw.disk_op_ms(CHECKPOINT_MSG_BYTES)
+            ) / total
+        return StationLoad("disk", arrival_rate_per_s=total,
+                           mean_service_ms=service, servers=self.disks)
+
+    def stations(self) -> List[StationLoad]:
+        """All three stations of Figure 5.1."""
+        return [self.network_load(), self.cpu_load(), self.disk_load()]
+
+    def utilizations(self) -> Dict[str, float]:
+        """name → ρ, the Figure 5.5 quantities."""
+        return {s.name: s.utilization for s in self.stations()}
+
+    def stable(self) -> bool:
+        """True when every station keeps ρ < 1."""
+        return all(not s.saturated for s in self.stations())

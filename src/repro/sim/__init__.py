@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation engine.
+
+Every node, network medium, disk, and recorder in the reproduction runs on
+one :class:`~repro.sim.engine.Engine`. The engine is fully deterministic:
+events at equal timestamps fire in scheduling order, and all randomness is
+drawn from named, seeded streams (:class:`~repro.sim.rng.RngStreams`).
+"""
+
+from repro.sim.engine import Engine, EventHandle, Signal
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "Signal",
+    "RngStreams",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,216 @@
+"""The discrete-event engine.
+
+Time is a float, measured in **milliseconds** to match the units used
+throughout the thesis (kernel-call costs, disk latencies, and recovery
+times are all quoted in ms).
+
+Two programming styles are supported:
+
+* callback events — ``engine.schedule(delay, fn, *args)``;
+* coroutine activities — ``engine.spawn(generator)`` where the generator
+  yields either a float delay (sleep that long) or a :class:`Signal`
+  (sleep until someone fires it).
+
+Determinism: the event heap breaks timestamp ties by insertion sequence,
+so two runs that schedule the same events in the same order are
+bit-identical. Components must draw randomness only from
+:class:`repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Signal:
+    """A one-shot or repeating wakeup that coroutine activities can wait on.
+
+    ``yield signal`` suspends an activity until :meth:`fire` is called; the
+    fired value becomes the result of the yield expression.
+    """
+
+    __slots__ = ("_engine", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self._engine = engine
+        self._waiters: List[Generator] = []
+        self.name = name
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every activity currently waiting; returns how many woke."""
+        waiters, self._waiters = self._waiters, []
+        for gen in waiters:
+            self._engine._resume(gen, value)
+        return len(waiters)
+
+    def _add_waiter(self, gen: Generator) -> None:
+        self._waiters.append(gen)
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[EventHandle] = []
+        self._running = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events dispatched so far (for diagnostics)."""
+        return self._events_fired
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        handle = EventHandle(self._now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute time ``time``."""
+        return self.schedule(time - self._now, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.schedule(0.0, fn, *args)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this engine."""
+        return Signal(self, name)
+
+    # ------------------------------------------------------------------
+    # coroutine activities
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, delay: float = 0.0) -> EventHandle:
+        """Start a coroutine activity after ``delay`` ms.
+
+        The generator may yield:
+
+        * a non-negative float — sleep that many ms;
+        * a :class:`Signal` — sleep until it fires (yield evaluates to the
+          fired value);
+        * ``None`` — yield the processor, resume at the same time.
+        """
+        return self.schedule(delay, self._resume, gen, None)
+
+    def _resume(self, gen: Generator, value: Any) -> None:
+        try:
+            yielded = gen.send(value)
+        except StopIteration:
+            return
+        if yielded is None:
+            self.call_soon(self._resume, gen, None)
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(gen)
+        elif isinstance(yielded, (int, float)):
+            self.schedule(float(yielded), self._resume, gen, None)
+        else:
+            raise SimulationError(
+                f"activity yielded {yielded!r}; expected delay, Signal, or None"
+            )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Dispatch events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired. Returns the simulated time afterwards.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                head.fn(*head.args)
+                self._events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Dispatch a single event. Returns False if none are pending."""
+        while self._heap:
+            head = heapq.heappop(self._heap)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            head.fn(*head.args)
+            self._events_fired += 1
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the heap is empty."""
+        for h in sorted(self._heap):
+            if not h.cancelled:
+                return h.time
+        return None
+
+
+def run_simulation(setup: Callable[[Engine], Any], until: float) -> Tuple[Engine, Any]:
+    """Convenience wrapper: build an engine, run ``setup``, run to ``until``.
+
+    Returns ``(engine, setup_result)`` so tests can assert on the objects
+    the setup function created.
+    """
+    engine = Engine()
+    result = setup(engine)
+    engine.run(until=until)
+    return engine, result

@@ -1,0 +1,67 @@
+"""Simulation tracing.
+
+A lightweight append-only trace of interesting events (message sends,
+publishes, crashes, recoveries). Used by tests to assert on orderings and
+by the replay debugger to show a process's history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: what happened, where, when."""
+
+    time: float
+    category: str
+    subject: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}ms] {self.category:<12} {self.subject} {extras}"
+
+
+class TraceLog:
+    """An in-memory trace with simple filtering helpers."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self.records: List[TraceRecord] = []
+        self.enabled = True
+
+    def emit(self, category: str, subject: str, **detail: Any) -> None:
+        """Append a record stamped with the current simulated time."""
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(self._clock(), category, subject, detail))
+
+    def select(self, category: Optional[str] = None,
+               subject: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given category and/or subject."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if subject is not None and rec.subject != subject:
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None,
+              subject: Optional[str] = None) -> int:
+        """Number of records matching the filter."""
+        return len(self.select(category, subject))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

@@ -1,0 +1,393 @@
+"""`System` — one-call construction of a publishing DEMOS/MP cluster.
+
+Wires together everything the thesis's Figure 3.2 shows: processing
+nodes running the DEMOS/MP kernel and system processes, a broadcast
+medium the recorder passively listens to, the recorder with its disks
+and stable storage, watchdogs, and the recovery manager.
+
+Typical use::
+
+    from repro import System, SystemConfig
+
+    system = System(SystemConfig(nodes=2))
+    system.registry.register("my/prog", MyProgram)
+    system.boot()
+    pid = system.spawn_program("my/prog", node=1)
+    system.run(5_000)
+    system.crash_node(1)          # fault injection
+    system.run(20_000)            # transparent recovery happens here
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.demos.costs import CostModel
+from repro.demos.ids import ProcessId, kernel_pid
+from repro.demos.kernel import KernelConfig
+from repro.demos.kernel_process import KERNEL_PROCESS_IMAGE, KernelProcessProgram
+from repro.demos.node import Node
+from repro.demos.process import ProgramRegistry
+from repro.demos.sysprocs import (
+    MS_IMAGE,
+    NLS_IMAGE,
+    PM_IMAGE,
+    MemoryScheduler,
+    NamedLinkServer,
+    ProcessManager,
+)
+from repro.errors import ReproError
+from repro.net.acking_ethernet import AckingEthernet
+from repro.net.ethernet import CsmaEthernet
+from repro.net.faults import FaultPlan
+from repro.net.media import Medium, PerfectBroadcast
+from repro.net.star import StarHub
+from repro.net.token_ring import TokenRing
+from repro.net.transport import TransportConfig
+from repro.publishing.checkpoints import CheckpointPolicy, install_policy
+from repro.publishing.recorder import Recorder, RecorderConfig
+from repro.publishing.recovery_manager import RecoveryManager
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceLog
+
+#: Media selectable by name in :class:`SystemConfig`.
+MEDIA = ("broadcast", "acking_ethernet", "csma_ethernet", "star", "token_ring")
+
+
+@dataclass
+class SystemConfig:
+    """Cluster-wide configuration."""
+
+    nodes: int = 2
+    #: first processing-node id; nodes are numbered consecutively from
+    #: here (clusters use disjoint ranges, §6.2)
+    first_node_id: int = 1
+    publishing: bool = True
+    medium: str = "broadcast"
+    recorder_node_id: int = 99
+    master_seed: int = 1983
+    costs: CostModel = field(default_factory=CostModel)
+    publish_path: str = "media_tap"
+    disks: int = 1
+    buffered_writes: bool = True
+    #: start NLS / process manager / memory scheduler on this node
+    boot_system_processes: bool = True
+    services_node: int = 1
+    reboot_delay_ms: float = 1000.0
+    #: what happens when the watchdog declares a node dead (§4.6's
+    #: operator choices): "restart" reboots the same processor; "spare"
+    #: swaps in a fresh processor that assumes the failed one's
+    #: identity; "none" leaves the node down (recovery stalls until the
+    #: operator intervenes via restart_node/spare_takeover).
+    reboot_policy: str = "restart"
+    watchdog_ping_ms: float = 500.0
+    watchdog_timeout_ms: float = 1500.0
+    retransmit_timeout_ms: float = 50.0
+    #: transport window per node: 1 = the thesis's stop-and-wait ("only
+    #: one unacknowledged message in transit from each processor"); >1
+    #: enables the anticipated windowing scheme with receiver-side
+    #: reordering (§4.3.3)
+    transport_window: int = 1
+    loss_rate: float = 0.0
+    corruption_rate: float = 0.0
+    #: automatic checkpoint policy installed on every node at boot:
+    #: None, "young", "bound", or "storage" (§3.2.4 / §3.2.3 / §5.1)
+    checkpoint_policy: Optional[str] = None
+    #: parameters for the chosen policy
+    checkpoint_mtbf_ms: float = 60_000.0
+    recovery_bound_ms: float = 2_000.0
+
+
+class System:
+    """A complete simulated publishing cluster."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 registry: Optional[ProgramRegistry] = None,
+                 engine: Optional[Engine] = None):
+        self.config = config or SystemConfig()
+        self.engine = engine or Engine()
+        self.rng = RngStreams(self.config.master_seed)
+        self.trace = TraceLog(lambda: self.engine.now)
+        self.registry = registry or ProgramRegistry()
+        self._register_builtin_images()
+        self.faults = FaultPlan(rng=self.rng,
+                                loss_rate=self.config.loss_rate,
+                                corruption_rate=self.config.corruption_rate)
+        self.medium = self._build_medium()
+        self.recorder: Optional[Recorder] = None
+        self.recovery: Optional[RecoveryManager] = None
+        if self.config.publishing:
+            self._build_recorder()
+        self.nodes: Dict[int, Node] = {}
+        first = self.config.first_node_id
+        for node_id in range(first, first + self.config.nodes):
+            self.nodes[node_id] = self._build_node(node_id)
+        if self.config.services_node not in self.nodes:
+            self.config.services_node = first
+        if self.recovery is not None:
+            self.recovery.node_restarter = self._restart_node_later
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _register_builtin_images(self) -> None:
+        reg = self.registry
+        if not reg.known(KERNEL_PROCESS_IMAGE):
+            reg.register(KERNEL_PROCESS_IMAGE, KernelProcessProgram)
+        if not reg.known(NLS_IMAGE):
+            reg.register(NLS_IMAGE, NamedLinkServer)
+        if not reg.known(PM_IMAGE):
+            reg.register(PM_IMAGE, ProcessManager)
+        if not reg.known(MS_IMAGE):
+            reg.register(MS_IMAGE, MemoryScheduler)
+
+    def _build_medium(self) -> Medium:
+        cfg = self.config
+        kwargs = dict(faults=self.faults,
+                      enforce_recorder_ack=cfg.publishing)
+        if cfg.medium == "broadcast":
+            return PerfectBroadcast(self.engine, **kwargs)
+        if cfg.medium == "acking_ethernet":
+            return AckingEthernet(self.engine, self.rng, **kwargs)
+        if cfg.medium == "csma_ethernet":
+            return CsmaEthernet(self.engine, self.rng, **kwargs)
+        if cfg.medium == "star":
+            return StarHub(self.engine, **kwargs)
+        if cfg.medium == "token_ring":
+            return TokenRing(self.engine, **kwargs)
+        raise ReproError(f"unknown medium {cfg.medium!r}; choose from {MEDIA}")
+
+    def _build_recorder(self) -> None:
+        cfg = self.config
+        recorder_config = RecorderConfig(
+            node_id=cfg.recorder_node_id,
+            publish_path=cfg.publish_path,
+            disks=cfg.disks,
+            buffered_writes=cfg.buffered_writes,
+            costs=cfg.costs,
+            transport=TransportConfig(
+                retransmit_timeout_ms=cfg.retransmit_timeout_ms,
+                per_destination=True, window=1),
+        )
+        self.recorder = Recorder(self.engine, self.medium, recorder_config,
+                                 trace=self.trace)
+        self.recovery = RecoveryManager(
+            self.engine, self.recorder,
+            node_ids=list(range(cfg.first_node_id,
+                                cfg.first_node_id + cfg.nodes)),
+            ping_interval_ms=cfg.watchdog_ping_ms,
+            watchdog_timeout_ms=cfg.watchdog_timeout_ms,
+        )
+
+    def _build_node(self, node_id: int) -> Node:
+        cfg = self.config
+        kernel_config = KernelConfig(
+            publishing=cfg.publishing,
+            recorder_node=cfg.recorder_node_id if cfg.publishing else None,
+            costs=cfg.costs,
+            transport=TransportConfig(
+                retransmit_timeout_ms=cfg.retransmit_timeout_ms,
+                require_recorder_ack=cfg.publishing,
+                window=cfg.transport_window,
+                ordered_window=cfg.transport_window > 1),
+        )
+        return Node(self.engine, node_id, self.medium, kernel_config,
+                    self.registry, self.trace)
+
+    def _restart_node_later(self, node_id: int) -> None:
+        policy = self.config.reboot_policy
+        if policy == "none":
+            return
+        node = self.nodes.get(node_id)
+        if node is None or node.up:
+            return
+        if policy == "spare":
+            self.engine.schedule(self.config.reboot_delay_ms,
+                                 self.spare_takeover, node_id)
+        else:
+            self.engine.schedule(self.config.reboot_delay_ms, node.restart)
+
+    def spare_takeover(self, node_id: int) -> "Node":
+        """Replace a failed processor with a spare that assumes its
+        identity (§3.3.3: "it would be best to have one or more spare
+        processors on the network that could assume the identities of
+        failed processors").
+
+        The dead node's interface is detached; a brand-new node —
+        different hardware, same node id — attaches in its place with an
+        empty kernel, and the recovery manager repopulates it exactly as
+        it would a rebooted processor.
+        """
+        old = self.nodes.get(node_id)
+        if old is None:
+            raise ReproError(f"no node {node_id} to replace")
+        if old.up:
+            return old
+        self.medium.detach(old.kernel.transport.iface)
+        spare = self._build_node(node_id)
+        self.nodes[node_id] = spare
+        spare.booted = True
+        self.trace.emit("spare", f"node{node_id}", event="takeover")
+        return spare
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def boot(self, settle_ms: float = 500.0) -> None:
+        """Boot every node's kernel process and the system processes,
+        start the watchdogs, then let the engine settle."""
+        cfg = self.config
+        nls_pid: Optional[Tuple[int, int]] = None
+        services_specs: Tuple = ()
+        if cfg.boot_system_processes and cfg.services_node in self.nodes:
+            node_order = tuple(sorted(self.nodes))
+            # Boot order fixes the local ids: NLS=(n,1), PM=(n,2), MS=(n,3).
+            services_specs = (
+                (NLS_IMAGE, (), (), True, 2),
+                (PM_IMAGE, (), (("proc", 2),), True, 2),
+                (MS_IMAGE, (node_order,),
+                 tuple(("kp", n) for n in node_order), True, 2),
+            )
+            nls_pid = (cfg.services_node, 1)
+        for node_id, node in self.nodes.items():
+            specs = services_specs if node_id == cfg.services_node else ()
+            node.boot(boot_specs=specs, nls_pid=nls_pid)
+        if self.recovery is not None:
+            self.recovery.start()
+        if cfg.checkpoint_policy is not None:
+            self.install_checkpoint_policy(cfg.checkpoint_policy)
+        if settle_ms > 0:
+            self.run(settle_ms)
+        if self.config.publishing:
+            # Give every system process a first checkpoint so recovery
+            # never needs to replay the boot sequence itself.
+            self.checkpoint_all()
+
+    def install_checkpoint_policy(self, name: str) -> CheckpointPolicy:
+        """Install one of the thesis's checkpoint policies on every
+        node: "young" (§3.2.4), "bound" (§3.2.3's recovery-time limit),
+        or "storage" (§5.1's storage balance)."""
+        from repro.publishing.checkpoints import (
+            RecoveryTimeBoundPolicy,
+            StorageBalancePolicy,
+            YoungIntervalPolicy,
+        )
+        if name == "young":
+            policy: CheckpointPolicy = YoungIntervalPolicy(
+                mtbf_ms=self.config.checkpoint_mtbf_ms)
+        elif name == "bound":
+            policy = RecoveryTimeBoundPolicy(
+                default_bound_ms=self.config.recovery_bound_ms)
+        elif name == "storage":
+            policy = StorageBalancePolicy()
+        else:
+            raise ReproError(
+                f"unknown checkpoint policy {name!r}; "
+                f"choose young, bound, or storage")
+        for node in self.nodes.values():
+            install_policy(node.kernel, policy)
+        self.checkpoint_policy = policy
+        return policy
+
+    def run(self, duration_ms: float) -> float:
+        """Advance the simulation ``duration_ms`` milliseconds."""
+        return self.engine.run(until=self.engine.now + duration_ms)
+
+    def run_until_idle(self, max_ms: float = 60_000.0) -> float:
+        """Run until no events remain or the guard expires."""
+        return self.engine.run(until=self.engine.now + max_ms)
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn_program(self, image: str, args: Tuple = (), node: int = 1,
+                      recoverable: bool = True, state_pages: int = 4) -> ProcessId:
+        """Create a process directly through the node's kernel process.
+
+        This bypasses the PM→MS message chain (use a client program and
+        the process manager for the fully message-based path). The
+        kernel process's allocator state changes outside a message, so
+        it is immediately re-checkpointed to keep its recovery sound.
+        """
+        kernel = self.nodes[node].kernel
+        kp_pcb = kernel.processes.get(kernel_pid(node))
+        if kp_pcb is None:
+            raise ReproError(f"node {node} is not booted")
+        kp_program: KernelProcessProgram = kp_pcb.program  # type: ignore[assignment]
+        pid = kp_program._allocate(node)
+        kernel.create_process(image=image, args=args, pid=pid,
+                              initial_links=kp_program._with_nls(()),
+                              recoverable=recoverable, state_pages=state_pages)
+        if self.config.publishing:
+            kernel.checkpoint_process(kernel_pid(node))
+        return pid
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every checkpointable process; returns the count."""
+        count = 0
+        for node in self.nodes.values():
+            if not node.up:
+                continue
+            for pid in list(node.kernel.processes):
+                if node.kernel.checkpoint_process(pid):
+                    count += 1
+        return count
+
+    def checkpoint(self, pid: ProcessId) -> bool:
+        """Checkpoint one process."""
+        return self.nodes[pid_node(pid, self)].kernel.checkpoint_process(pid)
+
+    def process_state(self, pid: ProcessId) -> Optional[str]:
+        """The state name of a process, wherever it lives, or None."""
+        for node in self.nodes.values():
+            pcb = node.kernel.processes.get(pid)
+            if pcb is not None:
+                return pcb.state.value
+        return None
+
+    def program_of(self, pid: ProcessId):
+        """The live program instance behind a pid (tests peek at state)."""
+        for node in self.nodes.values():
+            pcb = node.kernel.processes.get(pid)
+            if pcb is not None:
+                return pcb.program
+        return None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash_process(self, pid: ProcessId) -> None:
+        """Halt one process; the crash is reported and recovery begins."""
+        for node in self.nodes.values():
+            if pid in node.kernel.processes:
+                node.kernel.crash_process(pid)
+                return
+        raise ReproError(f"no such process {pid}")
+
+    def crash_node(self, node_id: int) -> None:
+        """Fail a whole processor; the watchdog will notice."""
+        self.nodes[node_id].crash()
+
+    def crash_recorder(self) -> None:
+        """Fail the recorder; all published traffic suspends."""
+        if self.recorder is None:
+            raise ReproError("this system has no recorder")
+        self.recorder.crash()
+        if self.recovery is not None:
+            self.recovery.stop()
+
+    def restart_recorder(self) -> int:
+        """Restart the recorder and run the §3.3.4 reconciliation."""
+        if self.recovery is None:
+            raise ReproError("this system has no recorder")
+        return self.recovery.restart_recorder()
+
+
+def pid_node(pid: ProcessId, system: System) -> int:
+    """The node a pid currently lives on (falls back to its birth node)."""
+    for node_id, node in system.nodes.items():
+        if pid in node.kernel.processes:
+            return node_id
+    return pid.node

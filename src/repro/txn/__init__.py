@@ -1,0 +1,17 @@
+"""Transactions over published communications (§6.4)."""
+
+from repro.txn.transactions import (
+    TransactionCoordinator,
+    ResourceManager,
+    TxnClient,
+    COORDINATOR_IMAGE,
+    RESOURCE_IMAGE,
+)
+
+__all__ = [
+    "TransactionCoordinator",
+    "ResourceManager",
+    "TxnClient",
+    "COORDINATOR_IMAGE",
+    "RESOURCE_IMAGE",
+]

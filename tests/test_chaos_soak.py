@@ -1,0 +1,104 @@
+"""A failure-injection campaign: everything crashes, nothing is lost.
+
+Three nodes, four concurrent client/server pairs, automatic storage-
+balance checkpointing — then a scripted barrage of process crashes,
+node crashes, and a full recorder outage, all mid-workload. At the end,
+every client must have received exactly the replies of a crash-free
+run and every server must have consumed exactly its inputs, in order.
+
+This is the capstone integration test: it exercises watchdogs, crash
+reports, checkpoint restore, replay, markers, send suppression, epoch
+gating, recorder restart reconciliation, and ack tracing in one run.
+"""
+
+import pytest
+
+from repro import System, SystemConfig
+
+from conftest import expected_totals, register_test_programs
+
+N = 50
+PAIRS = 4
+
+
+def build():
+    system = System(SystemConfig(nodes=3, checkpoint_policy="storage",
+                                 master_seed=42))
+    register_test_programs(system)
+    system.boot()
+    pairs = []
+    for i in range(PAIRS):
+        counter_node = 1 + i % 3
+        driver_node = 1 + (i + 1) % 3
+        counter = system.spawn_program("test/counter", node=counter_node)
+        driver = system.spawn_program("test/driver",
+                                      args=(tuple(counter), N),
+                                      node=driver_node)
+        pairs.append((counter, driver))
+    system.run(200)
+    return system, pairs
+
+
+def test_chaos_campaign_exact_results():
+    system, pairs = build()
+
+    # The barrage. Times are absolute sim ms; the workload runs ~10 s.
+    system.run(600)
+    system.crash_process(pairs[0][0])          # a server
+    system.run(400)
+    system.crash_process(pairs[1][1])          # a client
+    system.run(500)
+    system.crash_node(2)                       # a whole processor
+    system.run(2500)
+    system.crash_process(pairs[2][0])
+    system.run(300)
+    # Full recorder outage while traffic is in flight.
+    system.crash_recorder()
+    system.run(2500)
+    system.restart_recorder()
+    system.run(800)
+    system.crash_process(pairs[3][0])          # one more for good measure
+
+    deadline = system.engine.now + 900_000
+    while system.engine.now < deadline:
+        done = True
+        for counter, driver in pairs:
+            program = system.program_of(driver)
+            if program is None or len(program.replies) < N:
+                done = False
+                break
+        if done:
+            break
+        system.run(2000)
+
+    for index, (counter, driver) in enumerate(pairs):
+        driver_prog = system.program_of(driver)
+        counter_prog = system.program_of(counter)
+        assert driver_prog.replies == expected_totals(N), \
+            f"pair {index}: client replies diverged"
+        assert counter_prog.seen == list(range(1, N + 1)), \
+            f"pair {index}: server inputs diverged"
+    stats = system.recovery.stats
+    assert stats.recoveries_completed >= 5
+    assert stats.node_crashes_detected >= 1
+
+
+def test_chaos_campaign_is_deterministic():
+    """The same campaign twice gives bit-identical outcomes."""
+    def run_once():
+        system, pairs = build()
+        system.run(600)
+        system.crash_process(pairs[0][0])
+        system.run(900)
+        system.crash_node(3)
+        deadline = system.engine.now + 600_000
+        while system.engine.now < deadline:
+            if all(system.program_of(d) is not None
+                   and len(system.program_of(d).replies) >= N
+                   for _, d in pairs):
+                break
+            system.run(2000)
+        return (tuple(tuple(system.program_of(d).replies) for _, d in pairs),
+                system.engine.events_fired)
+
+    assert run_once() == run_once()

@@ -1,0 +1,159 @@
+"""Cluster federations over store-and-forward gateways (§6.2)."""
+
+import pytest
+
+from repro import Program
+from repro.cluster import ClusterFederation
+from repro.errors import NetworkError
+
+from conftest import CounterProgram, DriverProgram
+
+
+def build_federation(sizes=(1, 1)):
+    fed = ClusterFederation(list(sizes))
+    for cluster in fed.clusters:
+        cluster.registry.register("test/counter", CounterProgram)
+        cluster.registry.register("test/driver", DriverProgram)
+    fed.boot()
+    return fed
+
+
+def wait_replies(fed, cluster, driver_pid, n, max_ms=240_000):
+    deadline = fed.engine.now + max_ms
+    while fed.engine.now < deadline:
+        driver = cluster.program_of(driver_pid)
+        if driver is not None and len(driver.replies) >= n:
+            return driver
+        fed.run(1000)
+    return cluster.program_of(driver_pid)
+
+
+class TestFederation:
+    def test_disjoint_node_ranges(self):
+        fed = build_federation((2, 2))
+        a, b = fed.clusters
+        assert set(a.nodes) == {1, 2}
+        assert set(b.nodes) == {101, 102}
+
+    def test_cluster_of_lookup(self):
+        fed = build_federation((1, 1))
+        assert fed.cluster_of(1) is fed.clusters[0]
+        assert fed.cluster_of(101) is fed.clusters[1]
+        with pytest.raises(NetworkError):
+            fed.cluster_of(999)
+
+    def test_cross_cluster_request_reply(self):
+        fed = build_federation()
+        a, b = fed.clusters
+        counter_pid = b.spawn_program("test/counter", node=101)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 10), node=1)
+        driver = wait_replies(fed, a, driver_pid, 10)
+        assert driver.replies == [sum(range(1, k + 1)) for k in range(1, 11)]
+
+    def test_each_recorder_records_only_its_processes(self):
+        fed = build_federation()
+        a, b = fed.clusters
+        counter_pid = b.spawn_program("test/counter", node=101)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 5), node=1)
+        wait_replies(fed, a, driver_pid, 5)
+        # Cluster B's recorder holds the counter's stream; cluster A's
+        # recorder has no entry for a foreign pid beyond placeholders.
+        assert len(b.recorder.db.get(counter_pid).arrivals) == 5
+        a_record = a.recorder.db.get(counter_pid)
+        assert a_record is None or a_record.image == ""
+
+    def test_remote_cluster_recovers_its_own_node(self):
+        fed = build_federation()
+        a, b = fed.clusters
+        counter_pid = b.spawn_program("test/counter", node=101)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 40), node=1)
+        fed.run(1500)
+        b.crash_node(101)
+        driver = wait_replies(fed, a, driver_pid, 40)
+        assert driver.replies == [sum(range(1, k + 1)) for k in range(1, 41)]
+        assert b.recovery.stats.node_crashes_detected >= 1
+        assert a.recovery.stats.node_crashes_detected == 0   # autonomy
+
+    def test_gateway_retries_when_far_recorder_misses(self):
+        fed = build_federation()
+        a, b = fed.clusters
+        counter_pid = b.spawn_program("test/counter", node=101)
+        # Corrupt the next gateway-forwarded data frame at B's recorder:
+        # the gateway holds custody and must retry until the far
+        # cluster's recorder stores it.
+        b.medium.faults.corrupt_next(
+            lambda f, node: node == b.config.recorder_node_id
+            and f.kind.value == "data" and f.src_node >= 9000)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 5), node=1)
+        driver = wait_replies(fed, a, driver_pid, 5)
+        assert driver.replies == [sum(range(1, k + 1)) for k in range(1, 6)]
+        assert any(g.retries > 0 for g in fed.gateways)
+
+    def test_three_clusters_full_mesh(self):
+        fed = build_federation((1, 1, 1))
+        assert len(fed.gateways) == 6      # 3 pairs × 2 directions
+        a, b, c = fed.clusters
+        counter_pid = c.spawn_program("test/counter", node=201)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 5), node=1)
+        driver = wait_replies(fed, a, driver_pid, 5)
+        assert len(driver.replies) == 5
+
+
+class TestGatewayUnits:
+    def test_gateway_ignores_local_traffic(self):
+        from repro.cluster.gateways import Gateway
+        from repro.net.media import PerfectBroadcast, NetworkInterface
+        from repro.net.frames import Frame, FrameKind
+        from repro.sim import Engine
+
+        engine = Engine()
+        near = PerfectBroadcast(engine)
+        far = PerfectBroadcast(engine)
+        got_far = []
+        near.attach(NetworkInterface(1, lambda f: None))
+        near.attach(NetworkInterface(2, lambda f: None))
+        far.attach(NetworkInterface(101, got_far.append))
+        gateway = Gateway(engine, near, far, far_nodes=lambda n: n >= 100)
+        # Local frame: must not cross.
+        near.interfaces[0].send(Frame(kind=FrameKind.DATA, src_node=1,
+                                      dst_node=2, payload="local",
+                                      size_bytes=64))
+        engine.run()
+        assert gateway.frames_forwarded == 0
+        assert got_far == []
+        # Foreign frame: crosses with the forwarding delay.
+        near.interfaces[0].send(Frame(kind=FrameKind.DATA, src_node=1,
+                                      dst_node=101, payload="remote",
+                                      size_bytes=64))
+        engine.run()
+        assert gateway.frames_forwarded == 1
+        assert [f.payload for f in got_far] == ["remote"]
+
+    def test_gateway_gives_up_after_max_retries(self):
+        from repro.cluster.gateways import Gateway
+        from repro.net.media import PerfectBroadcast, NetworkInterface
+        from repro.net.frames import Frame, FrameKind
+        from repro.sim import Engine
+
+        engine = Engine()
+        near = PerfectBroadcast(engine)
+        far = PerfectBroadcast(engine)
+        near.attach(NetworkInterface(1, lambda f: None))
+        dead = NetworkInterface(101, lambda f: None)
+        dead.up = False
+        far.attach(dead)
+        gateway = Gateway(engine, near, far, far_nodes=lambda n: n >= 100,
+                          retry_ms=5.0, max_retries=4)
+        near.interfaces[0].send(Frame(kind=FrameKind.DATA, src_node=1,
+                                      dst_node=101, payload="void",
+                                      size_bytes=64))
+        engine.run(until=10_000)
+        # Four transmissions (attempt 0..3) each fail and schedule a
+        # retry; the fifth would exceed max_retries and is abandoned.
+        assert gateway.retries == 4
+        assert gateway.frames_forwarded == 4

@@ -1,0 +1,107 @@
+"""The replay debugger (§6.5): offline re-execution of a published
+history with breakpoints and state inspection."""
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.debugger import ReplayDebugger
+from repro.errors import ReproError
+
+from conftest import register_test_programs, run_counter_scenario
+
+
+@pytest.fixture
+def completed_run():
+    system = System(SystemConfig(nodes=2))
+    register_test_programs(system)
+    system.boot()
+    counter_pid, driver_pid = run_counter_scenario(system, n=15)
+    system.run(20_000)
+    assert system.program_of(counter_pid).total == sum(range(1, 16))
+    return system, counter_pid
+
+
+class TestReplayDebugger:
+    def test_full_replay_reaches_final_state(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        dbg.run_all()
+        assert dbg.program.total == sum(range(1, 16))
+        assert dbg.program.seen == list(range(1, 16))
+
+    def test_single_step_shows_intermediate_state(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        step = dbg.step()
+        assert step.step == 0
+        assert dbg.program.total == 1
+        step = dbg.step()
+        assert dbg.program.total == 3
+
+    def test_each_step_captures_sends(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        step = dbg.step()
+        # The counter answered with ('total', 1) over the passed link.
+        assert any(body == ("total", 1) for _, body in step.sends)
+
+    def test_run_to_breakpoint_by_count(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        dbg.run_to(9)
+        assert len(dbg.steps) == 10
+        assert dbg.program.total == sum(range(1, 11))
+
+    def test_conditional_breakpoint(self, completed_run):
+        """Find the exact step at which the total first exceeded 50 —
+        the after-the-fact question §6.5 motivates."""
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        dbg.run_until(lambda d: d.program.total > 50)
+        assert dbg.program.total == 55          # 1+2+...+10
+        assert len(dbg.steps) == 10
+
+    def test_state_snapshots_recorded_per_step(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        dbg.run_all()
+        totals = [s.state_after["total"] for s in dbg.steps]
+        assert totals == [sum(range(1, k + 1)) for k in range(1, 16)]
+
+    def test_replay_from_checkpoint(self, completed_run):
+        system, counter_pid = completed_run
+        # Take a checkpoint now, push more traffic, then debug from it.
+        assert system.checkpoint(counter_pid)
+        system.run(2000)
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry, from_checkpoint=True)
+        assert dbg.program.total == sum(range(1, 16))   # restored state
+        assert dbg.step() is None                        # nothing after ckpt
+
+    def test_missing_image_rejected(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        record.image = ""
+        with pytest.raises(ReproError):
+            ReplayDebugger(record, system.registry)
+
+    def test_from_checkpoint_requires_checkpoint(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        record.checkpoint = None
+        with pytest.raises(ReproError):
+            ReplayDebugger(record, system.registry, from_checkpoint=True)
+
+    def test_finished_property(self, completed_run):
+        system, counter_pid = completed_run
+        record = system.recorder.db.get(counter_pid)
+        dbg = ReplayDebugger(record, system.registry)
+        assert not dbg.finished
+        dbg.run_all()
+        assert dbg.finished

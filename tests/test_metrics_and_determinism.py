@@ -1,0 +1,99 @@
+"""The §5.2 measurement reproductions and whole-system determinism."""
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.metrics import (
+    measure_create_destroy,
+    measure_publishing_time,
+    measure_send_to_self,
+)
+
+from conftest import register_test_programs, run_counter_scenario
+
+
+class TestFigure57:
+    """Per-message overheads: the send-to-self measurement."""
+
+    def test_without_publishing_matches_paper(self):
+        result = measure_send_to_self(publishing=False, iterations=64)
+        # Paper: ~9 ms kernel CPU, ~10 ms real per iteration.
+        assert result["kernel_cpu_ms_per_iter"] == pytest.approx(9.0, abs=0.5)
+        assert result["real_ms_per_iter"] == pytest.approx(10.0, abs=0.7)
+
+    def test_with_publishing_matches_paper(self):
+        result = measure_send_to_self(publishing=True, iterations=64)
+        # Paper: ~35 ms kernel CPU (the +26 ms protocol tax), ~38 ms real
+        # (+2 ms transmission, ~1 ms user).
+        assert result["kernel_cpu_ms_per_iter"] == pytest.approx(35.0, abs=0.7)
+        assert result["real_ms_per_iter"] == pytest.approx(38.0, abs=1.0)
+
+    def test_publishing_overhead_decomposition(self):
+        # Enough iterations to amortize the creation/kick constant.
+        without = measure_send_to_self(publishing=False, iterations=192)
+        with_pub = measure_send_to_self(publishing=True, iterations=192)
+        cpu_delta = (with_pub["kernel_cpu_ms_per_iter"]
+                     - without["kernel_cpu_ms_per_iter"])
+        assert cpu_delta == pytest.approx(26.0, abs=1.0)
+        real_minus_cpu_without = (without["real_ms_per_iter"]
+                                  - without["kernel_cpu_ms_per_iter"])
+        real_minus_cpu_with = (with_pub["real_ms_per_iter"]
+                               - with_pub["kernel_cpu_ms_per_iter"])
+        # ~1 ms of user time without; ~3 ms (user + transmit) with.
+        assert real_minus_cpu_without == pytest.approx(1.0, abs=0.4)
+        assert real_minus_cpu_with == pytest.approx(3.0, abs=0.6)
+
+
+class TestFigure58:
+    """Per-process overheads: create+destroy a null process."""
+
+    def test_publishing_multiplies_process_control_cost(self):
+        without = measure_create_destroy(publishing=False, iterations=5)
+        with_pub = measure_create_destroy(publishing=True, iterations=5)
+        assert without["completed"] == 5
+        assert with_pub["completed"] == 5
+        ratio = (with_pub["kernel_cpu_ms_per_iter"]
+                 / without["kernel_cpu_ms_per_iter"])
+        # Paper's ratio is 205.4/24.3 ≈ 8.4×; our message-chain costs
+        # differ, but the shape — a large constant factor — must hold.
+        assert ratio > 2.5
+
+
+class TestSection522:
+    """Publishing time per message under the three software paths."""
+
+    @pytest.mark.parametrize("path,expected", [
+        ("full_protocol", 57.0),
+        ("inlined", 12.0),
+        ("media_tap", 0.8),
+    ])
+    def test_publish_cpu_per_message(self, path, expected):
+        result = measure_publishing_time(path, messages=32)
+        assert result["messages_recorded"] >= 32
+        assert result["publish_cpu_ms_per_message"] == pytest.approx(
+            expected, rel=0.05)
+
+
+class TestDeterminism:
+    def run_once(self, seed=1983, crash=True):
+        system = System(SystemConfig(nodes=2, master_seed=seed))
+        register_test_programs(system)
+        system.boot()
+        counter_pid, driver_pid = run_counter_scenario(system, n=25)
+        system.run(1000)
+        if crash:
+            system.crash_process(counter_pid)
+        system.run(60_000)
+        driver = system.program_of(driver_pid)
+        counter = system.program_of(counter_pid)
+        return (tuple(driver.replies), tuple(counter.seen),
+                system.engine.events_fired, system.recorder.messages_recorded)
+
+    def test_identical_seeds_identical_runs(self):
+        assert self.run_once() == self.run_once()
+
+    def test_crash_free_and_crashed_runs_agree_on_results(self):
+        clean = self.run_once(crash=False)
+        crashed = self.run_once(crash=True)
+        assert clean[0] == crashed[0]      # same replies
+        assert clean[1] == crashed[1]      # same consumed inputs

@@ -1,0 +1,93 @@
+"""Unit tests for frames, checksums, and fault injection."""
+
+import pytest
+
+from repro.net.frames import BROADCAST, Frame, FrameKind, canonical_bytes, crc16
+from repro.net.faults import FaultPlan
+from repro.sim.rng import RngStreams
+
+
+def make_frame(payload="hello", dst=2):
+    return Frame(kind=FrameKind.DATA, src_node=1, dst_node=dst,
+                 payload=payload, size_bytes=128)
+
+
+class TestCrc:
+    def test_known_stability(self):
+        assert crc16(b"123456789") == crc16(b"123456789")
+
+    def test_different_data_different_crc(self):
+        assert crc16(b"abc") != crc16(b"abd")
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+
+
+class TestFrame:
+    def test_checksum_computed_and_valid(self):
+        frame = make_frame()
+        assert frame.checksum == crc16(canonical_bytes("hello"))
+        assert frame.checksum_ok()
+
+    def test_corrupt_invalidates(self):
+        frame = make_frame()
+        frame.corrupt()
+        assert not frame.checksum_ok()
+
+    def test_double_corrupt_restores(self):
+        frame = make_frame()
+        frame.corrupt()
+        frame.corrupt()
+        assert frame.checksum_ok()
+
+    def test_frame_ids_unique(self):
+        assert make_frame().frame_id != make_frame().frame_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(kind=FrameKind.DATA, src_node=1, dst_node=2,
+                  payload="x", size_bytes=0)
+
+    def test_clone_for_retargets_but_keeps_payload(self):
+        frame = make_frame()
+        clone = frame.clone_for(7)
+        assert clone.dst_node == 7
+        assert clone.payload == frame.payload
+        assert clone.checksum == frame.checksum
+        assert clone.checksum_ok()
+
+
+class TestFaultPlan:
+    def test_default_plan_is_transparent(self):
+        plan = FaultPlan()
+        frame = make_frame()
+        assert plan.apply(frame, 2) is frame
+
+    def test_targeted_loss_hits_matching_frames_only(self):
+        plan = FaultPlan()
+        plan.lose_next(lambda f, node: node == 2, count=1)
+        frame = make_frame()
+        assert plan.apply(frame, 3) is frame        # wrong receiver
+        assert plan.apply(frame, 2) is None         # lost
+        assert plan.apply(frame, 2) is frame        # budget spent
+        assert plan.losses == 1
+
+    def test_targeted_corruption_returns_bad_copy(self):
+        plan = FaultPlan()
+        plan.corrupt_next(lambda f, node: True)
+        frame = make_frame()
+        seen = plan.apply(frame, 2)
+        assert seen is not frame
+        assert not seen.checksum_ok()
+        assert frame.checksum_ok()                  # original untouched
+
+    def test_probabilistic_loss_rate(self):
+        plan = FaultPlan(rng=RngStreams(1), loss_rate=0.5)
+        outcomes = [plan.apply(make_frame(), 2) for _ in range(400)]
+        lost = sum(1 for o in outcomes if o is None)
+        assert 120 < lost < 280
+
+    def test_probabilistic_corruption(self):
+        plan = FaultPlan(rng=RngStreams(1), corruption_rate=1.0)
+        seen = plan.apply(make_frame(), 2)
+        assert seen is not None and not seen.checksum_ok()

@@ -1,0 +1,186 @@
+"""Tests for the broadcast bus and the recorder-acknowledgement rule."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultPlan
+from repro.net.frames import BROADCAST, Frame, FrameKind
+from repro.net.media import NetworkInterface, PerfectBroadcast
+from repro.sim import Engine
+
+
+def data_frame(src, dst, payload="p", size=128):
+    return Frame(kind=FrameKind.DATA, src_node=src, dst_node=dst,
+                 payload=payload, size_bytes=size)
+
+
+def build_bus(engine, node_ids=(1, 2), with_recorder=False, enforce=False,
+              faults=None):
+    bus = PerfectBroadcast(engine, faults=faults or FaultPlan(),
+                           enforce_recorder_ack=enforce)
+    inboxes = {}
+    for node in node_ids:
+        inboxes[node] = []
+        bus.attach(NetworkInterface(node, inboxes[node].append))
+    recorder_box = []
+    if with_recorder:
+        bus.attach(NetworkInterface(99, recorder_box.append, is_recorder=True))
+    return bus, inboxes, recorder_box
+
+
+def test_unicast_reaches_destination_only():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2, 3))
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert len(inboxes[2]) == 1
+    assert inboxes[3] == [] and inboxes[1] == []
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2, 3))
+    bus.interfaces[0].send(data_frame(1, BROADCAST))
+    engine.run()
+    assert len(inboxes[2]) == 1 and len(inboxes[3]) == 1
+    assert inboxes[1] == []
+
+
+def test_self_addressed_frame_loops_back():
+    """Published intranode messages travel the wire and return (§4.4.1)."""
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2))
+    bus.interfaces[0].send(data_frame(1, 1))
+    engine.run()
+    assert len(inboxes[1]) == 1
+
+
+def test_recorder_overhears_all_traffic():
+    engine = Engine()
+    bus, inboxes, recorded = build_bus(engine, (1, 2), with_recorder=True)
+    bus.interfaces[0].send(data_frame(1, 2))
+    bus.interfaces[1].send(data_frame(2, 1))
+    engine.run()
+    assert len(recorded) == 2
+
+
+def test_frames_serialize_on_the_bus():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2))
+    arrival_times = []
+    bus.interfaces[1].on_frame = lambda f: arrival_times.append(engine.now)
+    bus.interfaces[0].send(data_frame(1, 2, size=1000))
+    bus.interfaces[0].send(data_frame(1, 2, size=1000))
+    engine.run()
+    assert len(arrival_times) == 2
+    assert arrival_times[1] >= 2 * bus.tx_time_ms(1000) - 1e-9
+
+
+def test_recorder_miss_blocks_data_frame_when_enforced():
+    """A frame the recorder misses must not be usable (§6.1)."""
+    engine = Engine()
+    faults = FaultPlan()
+    faults.corrupt_next(lambda f, node: node == 99)
+    bus, inboxes, recorded = build_bus(engine, (1, 2), with_recorder=True,
+                                       enforce=True, faults=faults)
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert inboxes[2] == []
+    assert bus.stats.recorder_misses == 1
+
+
+def test_downed_recorder_stalls_all_data():
+    engine = Engine()
+    bus, inboxes, recorded = build_bus(engine, (1, 2), with_recorder=True,
+                                       enforce=True)
+    recorder_iface = bus.recorders()[0]
+    recorder_iface.up = False
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert inboxes[2] == []
+
+
+def test_no_recorder_attached_means_no_gating():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), enforce=True)
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert len(inboxes[2]) == 1
+
+
+def test_delivered_frames_carry_recorder_ack_flag():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), with_recorder=True, enforce=True)
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert inboxes[2][0].recorder_acked
+
+
+def test_sender_gets_delivery_ack():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2))
+    acks = []
+    bus.interfaces[0].on_delivered = lambda f, ok: acks.append(ok)
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert acks == [True]
+
+
+def test_sender_gets_negative_ack_for_down_receiver():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2))
+    acks = []
+    bus.interfaces[0].on_delivered = lambda f, ok: acks.append(ok)
+    bus.interfaces[1].up = False
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert acks == [False]
+
+
+def test_duplicate_node_id_rejected():
+    engine = Engine()
+    bus, _, _ = build_bus(engine, (1,))
+    with pytest.raises(NetworkError):
+        bus.attach(NetworkInterface(1, lambda f: None))
+
+
+def test_multi_recorder_requires_all_healthy_recorders():
+    """§6.3: every healthy recorder must store the frame."""
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), enforce=True)
+    rec_a, rec_b = [], []
+    bus.attach(NetworkInterface(90, rec_a.append, is_recorder=True))
+    bus.attach(NetworkInterface(91, rec_b.append, is_recorder=True))
+    faults = bus.faults
+    faults.corrupt_next(lambda f, node: node == 91)
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert inboxes[2] == []          # recorder 91 missed it → unusable
+
+    bus.interfaces[0].send(data_frame(1, 2, payload="second"))
+    engine.run()
+    assert len(inboxes[2]) == 1      # both recorded → delivered
+
+
+def test_down_recorder_ack_supplied_by_survivor():
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), enforce=True)
+    rec_a, rec_b = [], []
+    a = NetworkInterface(90, rec_a.append, is_recorder=True)
+    b = NetworkInterface(91, rec_b.append, is_recorder=True)
+    bus.attach(a)
+    bus.attach(b)
+    b.up = False
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert len(inboxes[2]) == 1      # survivor's ack suffices
+
+
+def test_utilization_accounting():
+    engine = Engine()
+    bus, _, _ = build_bus(engine, (1, 2))
+    bus.interfaces[0].send(data_frame(1, 2, size=1250))   # 1 ms on wire
+    engine.run()
+    elapsed = engine.now
+    assert bus.stats.busy_time_ms == pytest.approx(bus.tx_time_ms(1250))
+    assert 0 < bus.stats.utilization(elapsed) <= 1.0

@@ -1,0 +1,150 @@
+"""Transactions over published communications (§6.4).
+
+The defining property under test: transaction state and intentions live
+only in ordinary process state — no stable storage — yet transactions
+survive crashes of any participant at any phase.
+"""
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.demos.ids import ProcessId
+from repro.txn import (
+    COORDINATOR_IMAGE,
+    RESOURCE_IMAGE,
+    ResourceManager,
+    TransactionCoordinator,
+    TxnClient,
+)
+
+
+def build_bank(nodes=2, accounts=(("alice", 100), ("bob", 50))):
+    system = System(SystemConfig(nodes=nodes))
+    system.registry.register(RESOURCE_IMAGE, ResourceManager)
+    system.registry.register(COORDINATOR_IMAGE, TransactionCoordinator)
+    system.registry.register("txn/client", TxnClient)
+    system.boot()
+    rm_a = system.spawn_program(RESOURCE_IMAGE, args=((("alice", 100),),),
+                                node=1)
+    rm_b = system.spawn_program(RESOURCE_IMAGE, args=((("bob", 50),),),
+                                node=min(2, nodes))
+    coord = system.spawn_program(COORDINATOR_IMAGE,
+                                 args=((tuple(rm_a), tuple(rm_b)),), node=1)
+    system.run(300)
+    return system, rm_a, rm_b, coord
+
+
+def submit(system, coord, script, node=1):
+    client = system.spawn_program("txn/client",
+                                  args=(tuple(coord), tuple(script)), node=node)
+    return client
+
+
+def wait_outcomes(system, client_pid, count, max_ms=240_000):
+    deadline = system.engine.now + max_ms
+    while system.engine.now < deadline:
+        client = system.program_of(client_pid)
+        if client is not None and len(client.outcomes) >= count:
+            return client.outcomes
+        system.run(1000)
+    return system.program_of(client_pid).outcomes
+
+
+TRANSFER = ("move-40", ((0, "debit", "alice", 40), (1, "credit", "bob", 40)))
+OVERDRAFT = ("move-999", ((0, "debit", "alice", 999), (1, "credit", "bob", 999)))
+
+
+class TestCommitAndAbort:
+    def test_successful_transfer_commits_atomically(self):
+        system, rm_a, rm_b, coord = build_bank()
+        client = submit(system, coord, [TRANSFER])
+        outcomes = wait_outcomes(system, client, 1)
+        assert outcomes[0][0] == "committed"
+        assert system.program_of(rm_a).data["alice"] == 60
+        assert system.program_of(rm_b).data["bob"] == 90
+
+    def test_insufficient_funds_aborts_everywhere(self):
+        system, rm_a, rm_b, coord = build_bank()
+        client = submit(system, coord, [OVERDRAFT])
+        outcomes = wait_outcomes(system, client, 1)
+        assert outcomes[0][0] == "aborted"
+        assert system.program_of(rm_a).data["alice"] == 100
+        assert system.program_of(rm_b).data["bob"] == 50
+        assert system.program_of(rm_b).intentions == {}
+
+    def test_sequential_transactions(self):
+        system, rm_a, rm_b, coord = build_bank()
+        script = [("t1", ((0, "debit", "alice", 10),
+                          (1, "credit", "bob", 10))),
+                  ("t2", ((0, "debit", "alice", 20),
+                          (1, "credit", "bob", 20))),
+                  OVERDRAFT]
+        client = submit(system, coord, script)
+        outcomes = wait_outcomes(system, client, 3)
+        assert [o[0] for o in outcomes] == ["committed", "committed", "aborted"]
+        assert system.program_of(rm_a).data["alice"] == 70
+        assert system.program_of(rm_b).data["bob"] == 80
+
+
+class TestCrashesDuringTransactions:
+    def run_script_with_crash(self, crash_target, when_ms=150):
+        system, rm_a, rm_b, coord = build_bank()
+        script = [("t1", ((0, "debit", "alice", 10), (1, "credit", "bob", 10))),
+                  ("t2", ((0, "debit", "alice", 20), (1, "credit", "bob", 20))),
+                  ("t3", ((0, "debit", "alice", 5), (1, "credit", "bob", 5)))]
+        client = submit(system, coord, script)
+        system.run(when_ms)
+        pid = {"rm_a": rm_a, "rm_b": rm_b, "coord": coord}[crash_target]
+        system.crash_process(pid)
+        outcomes = wait_outcomes(system, client, 3)
+        return system, rm_a, rm_b, outcomes
+
+    def test_resource_manager_crash_mid_protocol(self):
+        system, rm_a, rm_b, outcomes = self.run_script_with_crash("rm_b")
+        assert [o[0] for o in outcomes] == ["committed"] * 3
+        assert system.program_of(rm_a).data["alice"] == 65
+        assert system.program_of(rm_b).data["bob"] == 85
+
+    def test_coordinator_crash_mid_protocol(self):
+        """"When a crashed process recovers, its intentions and
+        transaction state will be rebuilt along with the rest of the
+        process state" — the coordinator's table is plain state."""
+        system, rm_a, rm_b, outcomes = self.run_script_with_crash("coord")
+        assert [o[0] for o in outcomes] == ["committed"] * 3
+        assert system.program_of(rm_a).data["alice"] == 65
+        assert system.program_of(rm_b).data["bob"] == 85
+
+    def test_both_resource_managers_crash(self):
+        system, rm_a, rm_b, coord = build_bank()
+        script = [("t1", ((0, "debit", "alice", 10), (1, "credit", "bob", 10)))]
+        client = submit(system, coord, script)
+        system.run(120)
+        system.crash_process(rm_a)
+        system.run(40)
+        system.crash_process(rm_b)
+        outcomes = wait_outcomes(system, client, 1)
+        assert outcomes[0][0] == "committed"
+        assert system.program_of(rm_a).data["alice"] == 90
+        assert system.program_of(rm_b).data["bob"] == 60
+
+    def test_node_crash_during_transactions(self):
+        system, rm_a, rm_b, coord = build_bank()
+        script = [("t1", ((0, "debit", "alice", 10), (1, "credit", "bob", 10))),
+                  ("t2", ((0, "debit", "alice", 20), (1, "credit", "bob", 20)))]
+        client = submit(system, coord, script)
+        system.run(150)
+        system.crash_node(2)          # hosts rm_b
+        outcomes = wait_outcomes(system, client, 2)
+        assert [o[0] for o in outcomes] == ["committed", "committed"]
+        assert system.program_of(rm_a).data["alice"] == 70
+        assert system.program_of(rm_b).data["bob"] == 80
+
+    def test_no_stable_storage_calls_by_participants(self):
+        """The whole point of §6.4: only the recorder's storage exists.
+        Resource managers keep intentions in ordinary dict state."""
+        system, rm_a, rm_b, coord = build_bank()
+        rm = system.program_of(rm_a)
+        assert isinstance(rm.intentions, dict)
+        assert isinstance(rm.data, dict)
+        # The only stable storage in the system belongs to the recorder.
+        assert system.recorder.stable is not None
