@@ -10,12 +10,17 @@ Commands:
   operating point;
 * ``figure57``    — run the Figure 5.6 measurement program with and
   without publishing and print Figure 5.7;
-* ``example3_1``  — print the Figure 3.1 recovery-time worked example.
+* ``example3_1``  — print the Figure 3.1 recovery-time worked example;
+* ``trace``       — run a small crash/recovery scenario and dump the
+  instrumentation event stream as JSON lines;
+* ``metrics``     — run the same scenario and dump the metrics-registry
+  snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -137,6 +142,50 @@ def _cmd_example3_1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed_scenario(medium: str, duration_ms: float, crash: bool):
+    """A small deterministic workload that exercises every layer of the
+    instrumentation spine: two nodes, a send-to-self measurement program,
+    and (optionally) a node crash with transparent recovery."""
+    from repro import System, SystemConfig
+    from repro.metrics.metering import SendToSelfProgram
+
+    system = System(SystemConfig(nodes=2, medium=medium))
+    system.registry.register("metrics/send_to_self", SendToSelfProgram)
+    system.boot()
+    system.spawn_program("metrics/send_to_self", args=(64,), node=1)
+    system.run(duration_ms / 2)
+    if crash:
+        system.crash_node(2)
+    system.run(duration_ms / 2)
+    return system
+
+
+def _write_or_print(text: str, output) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    system = _run_observed_scenario(args.medium, args.duration,
+                                    not args.no_crash)
+    events = system.obs.bus.select(scope=args.scope) if args.scope \
+        else list(system.obs.bus)
+    text = "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+    _write_or_print(text, args.output)
+    print(f"# {len(events)} events", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    system = _run_observed_scenario(args.medium, args.duration,
+                                    not args.no_crash)
+    _write_or_print(system.obs.registry.to_json(), args.output)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -164,8 +213,36 @@ def main(argv=None) -> int:
     f31 = sub.add_parser("example3_1", help="Figure 3.1 worked example")
     f31.set_defaults(fn=_cmd_example3_1)
 
+    media_choices = ["broadcast", "acking_ethernet", "csma_ethernet",
+                     "star", "token_ring"]
+    for name, fn, help_text in (
+            ("trace", _cmd_trace,
+             "dump the scenario's event stream as JSON lines"),
+            ("metrics", _cmd_metrics,
+             "dump the scenario's metrics snapshot as JSON")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--medium", default="broadcast",
+                         choices=media_choices)
+        cmd.add_argument("--duration", type=float, default=5000.0,
+                         help="simulated milliseconds to run")
+        cmd.add_argument("--no-crash", action="store_true",
+                         help="skip the mid-run node crash")
+        cmd.add_argument("--output", default=None,
+                         help="write to this file instead of stdout")
+        if name == "trace":
+            cmd.add_argument("--scope", default=None,
+                             help="only events whose scope matches this "
+                                  "prefix (e.g. 'transport', 'kernel.1')")
+        cmd.set_defaults(fn=fn)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); die quietly.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

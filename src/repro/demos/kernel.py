@@ -39,6 +39,7 @@ from repro.demos.process import (
 from repro.errors import KernelError, ProcessError
 from repro.net.media import Medium
 from repro.net.transport import Segment, Transport, TransportConfig
+from repro.obs import MetricsRegistry, Observability
 from repro.sim.engine import Engine
 from repro.sim.trace import TraceLog
 
@@ -61,14 +62,28 @@ class NodeCpu:
 
     ``charge`` extends the busy horizon (synchronous work inside a
     kernel call); ``run`` schedules a callback for when the CPU reaches
-    it (asynchronous work like message delivery).
+    it (asynchronous work like message delivery). The CPU clocks live in
+    the unified metrics registry (``<prefix>.kernel_ms`` /
+    ``<prefix>.user_ms``) so ``registry.snapshot()`` is the one read
+    path; ``cpu.kernel_ms`` stays available as a compatibility property.
     """
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "cpu"):
         self.engine = engine
         self._busy_until = 0.0
-        self.kernel_ms = 0.0
-        self.user_ms = 0.0
+        registry = registry or MetricsRegistry()
+        self._kernel_ms = registry.counter(f"{prefix}.kernel_ms")
+        self._user_ms = registry.counter(f"{prefix}.user_ms")
+
+    @property
+    def kernel_ms(self) -> float:
+        return self._kernel_ms.value
+
+    @property
+    def user_ms(self) -> float:
+        return self._user_ms.value
 
     @property
     def busy_until(self) -> float:
@@ -79,9 +94,9 @@ class NodeCpu:
         start = self.busy_until
         self._busy_until = start + duration
         if user:
-            self.user_ms += duration
+            self._user_ms.inc(duration)
         else:
-            self.kernel_ms += duration
+            self._kernel_ms.inc(duration)
         return self._busy_until
 
     def run(self, duration: float, fn: Callable[..., Any], *args: Any,
@@ -162,13 +177,23 @@ class MessageKernel:
 
     def __init__(self, engine: Engine, node_id: int, medium: Medium,
                  config: KernelConfig, registry: ProgramRegistry,
-                 trace: Optional[TraceLog] = None):
+                 trace: Optional[TraceLog] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.node_id = node_id
         self.config = config
         self.registry = registry
-        self.trace = trace if trace is not None else TraceLog(lambda: engine.now)
-        self.cpu = NodeCpu(engine)
+        #: instrumentation spine: shared when the System provides one,
+        #: otherwise rides the medium's (so standalone kernels still
+        #: land on the same registry as their medium and transport)
+        self.obs = obs if obs is not None else medium.obs
+        if trace is not None:
+            self.trace = trace
+        else:
+            self.trace = TraceLog(bus=self.obs.bus,
+                                  scope=f"kernel.{node_id}")
+        self.cpu = NodeCpu(engine, self.obs.registry,
+                           f"kernel.{node_id}.cpu")
         self.processes: Dict[ProcessId, ProcessControlRecord] = {}
         self._next_local_id = 1
         self._control_seq = 0
@@ -183,9 +208,21 @@ class MessageKernel:
         self.after_delivery: Optional[Callable[[ProcessControlRecord], None]] = None
         #: invoked on process crash reports, creation, destruction
         self.transport = Transport(engine, medium, node_id, self._on_segment,
-                                   config.transport)
-        self.messages_sent = 0
-        self.messages_delivered = 0
+                                   config.transport, obs=self.obs)
+        self._messages_sent = self.obs.registry.counter(
+            f"kernel.{node_id}.messages_sent")
+        self._messages_delivered = self.obs.registry.counter(
+            f"kernel.{node_id}.messages_delivered")
+        self._processes_gauge = self.obs.registry.gauge_fn(
+            f"kernel.{node_id}.processes", lambda: len(self.processes))
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent.value
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered.value
 
     # ------------------------------------------------------------------
     # process lifetime (primitives used by the kernel process)
@@ -320,7 +357,7 @@ class MessageKernel:
             self.trace.emit("recovery", str(from_pcb.pid),
                             event="suppressed_send", seq=message.msg_id.seq)
             return
-        self.messages_sent += 1
+        self._messages_sent.inc()
         # The message leaves the kernel when the send call's CPU work is
         # done; scheduling through the engine keeps submissions FIFO.
         self.engine.schedule_at(done_at, self._submit, message, published)
@@ -478,7 +515,7 @@ class MessageKernel:
         user_cost = pcb.program.handler_cpu_ms
         pcb.exec_ms_since_checkpoint += user_cost
         ctx = ProcessContext(self, pcb)
-        self.messages_delivered += 1
+        self._messages_delivered.inc()
         self.cpu.charge(user_cost, user=True)
         try:
             pcb.program.deliver(ctx, delivered)

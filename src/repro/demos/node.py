@@ -21,6 +21,7 @@ from repro.demos.kernel_process import KERNEL_PROCESS_IMAGE
 from repro.demos.messages import Control
 from repro.demos.process import ProgramRegistry
 from repro.net.media import Medium
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.trace import TraceLog
 
@@ -30,11 +31,12 @@ class Node:
 
     def __init__(self, engine: Engine, node_id: int, medium: Medium,
                  config: KernelConfig, registry: ProgramRegistry,
-                 trace: Optional[TraceLog] = None):
+                 trace: Optional[TraceLog] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.node_id = node_id
         self.kernel = MessageKernel(engine, node_id, medium, config,
-                                    registry, trace)
+                                    registry, trace, obs=obs)
         self.booted = False
         self._register_handlers()
 

@@ -44,16 +44,23 @@ class MeterReading:
 
 
 class KernelMeter:
-    """Reads a node's real and CPU clocks (Get_Real_Time / Get_Run_Time)."""
+    """Reads a node's real and CPU clocks (Get_Real_Time / Get_Run_Time).
+
+    Reads go through the node's metrics registry — the same snapshot
+    surface every other instrument is published on — rather than poking
+    at :class:`~repro.demos.kernel.NodeCpu` attributes directly.
+    """
 
     def __init__(self, kernel: MessageKernel):
         self.kernel = kernel
 
     def read(self) -> MeterReading:
-        cpu = self.kernel.cpu
-        return MeterReading(real_ms=self.kernel.engine.now,
-                            kernel_cpu_ms=cpu.kernel_ms,
-                            user_cpu_ms=cpu.user_ms)
+        kernel = self.kernel
+        snapshot = kernel.obs.registry.snapshot()
+        prefix = f"kernel.{kernel.node_id}.cpu"
+        return MeterReading(real_ms=kernel.engine.now,
+                            kernel_cpu_ms=snapshot[f"{prefix}.kernel_ms"],
+                            user_cpu_ms=snapshot[f"{prefix}.user_ms"])
 
 
 class SendToSelfProgram(GeneratorProgram):
@@ -176,7 +183,7 @@ def measure_create_destroy(publishing: bool, iterations: int = 25
     }
 
 
-def measure_publishing_time(path: str, messages: int = 512) -> Dict[str, float]:
+def measure_publishing_time(path: str, messages: int = 512) -> Dict[str, object]:
     """§5.2.2: CPU time the recorder spends publishing one message under
     each software path (57 / 12 / 0.8 ms)."""
     from repro.system import SystemConfig
@@ -193,7 +200,7 @@ def measure_publishing_time(path: str, messages: int = 512) -> Dict[str, float]:
     recorded = recorder.messages_recorded - recorded_before
     cpu = recorder.cpu_busy_ms - cpu_before
     return {
-        "path": 0.0,
+        "path": path,
         "messages_recorded": float(recorded),
         "publish_cpu_ms_per_message": cpu / max(1, recorded),
     }

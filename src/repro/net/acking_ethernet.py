@@ -32,6 +32,8 @@ class AckingEthernet(CsmaEthernet):
 
     provides_delivery_ack = True
 
+    kind = "acking"
+
     def __init__(self, engine: Engine, rng: RngStreams,
                  params: Optional[EthernetParams] = None,
                  ack_slot_ms: float = 0.0512, **kwargs):
@@ -41,7 +43,13 @@ class AckingEthernet(CsmaEthernet):
             params.auto_ack = False   # acks ride the reserved slot instead
         super().__init__(engine, rng, params, **kwargs)
         self.ack_slot_ms = ack_slot_ms
-        self.reserved_slots = 0
+        self._reserved_slots = self.obs.registry.counter(
+            f"media.{self.kind}.reserved_slots")
+
+    @property
+    def reserved_slots(self) -> int:
+        """Acknowledgement slots reserved after data frames."""
+        return self._reserved_slots.value
 
     def _begin_transmission(self, iface: NetworkInterface, frame: Frame) -> None:
         duration = self.tx_time_ms(frame.size_bytes)
@@ -50,7 +58,7 @@ class AckingEthernet(CsmaEthernet):
             # it, so no station can start a frame that would collide with
             # the acknowledgement.
             duration_with_slot = duration + self.ack_slot_ms
-            self.reserved_slots += 1
+            self._reserved_slots.inc()
         else:
             duration_with_slot = duration
         self._busy_until = self.engine.now + duration_with_slot

@@ -41,6 +41,8 @@ class CsmaEthernet(Medium):
 
     provides_delivery_ack = False
 
+    kind = "csma"
+
     def __init__(self, engine: Engine, rng: RngStreams,
                  params: Optional[EthernetParams] = None, **kwargs):
         super().__init__(engine, **kwargs)
@@ -50,12 +52,24 @@ class CsmaEthernet(Medium):
         #: transmissions waiting to start, grouped by their start slot
         self._starting: List[Tuple[NetworkInterface, Frame, int]] = []
         self._resolution_pending = False
-        self.acks_sent = 0
-        self.ack_collisions = 0
+        prefix = f"media.{self.kind}"
+        self._acks_sent = self.obs.registry.counter(f"{prefix}.acks_sent")
+        self._ack_collisions = self.obs.registry.counter(
+            f"{prefix}.ack_collisions")
+
+    @property
+    def acks_sent(self) -> int:
+        """Contending ACK frames emitted by receivers (auto_ack mode)."""
+        return self._acks_sent.value
+
+    @property
+    def ack_collisions(self) -> int:
+        """Collisions in which at least one contender was an ACK frame."""
+        return self._ack_collisions.value
 
     # ------------------------------------------------------------------
     def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
-        self.stats.frames_offered += 1
+        self.stats.note_offered(frame.size_bytes)
         self._attempt(iface, frame, attempt=0)
 
     def _attempt(self, iface: NetworkInterface, frame: Frame, attempt: int) -> None:
@@ -83,12 +97,15 @@ class CsmaEthernet(Medium):
         # Collision: one slot of wasted bus time, everyone backs off.
         self.stats.collisions += len(contenders)
         if any(f.kind is FrameKind.ACK for _, f, _ in contenders):
-            self.ack_collisions += 1
+            self._ack_collisions.inc()
+        self.events.emit("collision", "bus", contenders=len(contenders))
         self._busy_until = self.engine.now + self.params.slot_time_ms
         self.stats.busy_time_ms += self.params.slot_time_ms
         for iface, frame, attempt in contenders:
             attempt += 1
             if attempt >= self.params.max_attempts:
+                self.events.emit("frame_dropped", f"node{iface.node_id}",
+                                 reason="excessive_collisions")
                 continue          # excessive collisions: frame dropped
             exp = min(attempt, self.params.max_backoff_exp)
             slots = self.rng.stream(f"ether/{iface.node_id}").randrange(0, 2 ** exp)
@@ -117,6 +134,6 @@ class CsmaEthernet(Medium):
                 ack = Frame(kind=FrameKind.ACK, src_node=iface.node_id,
                             dst_node=frame.src_node,
                             payload=("ack", frame.frame_id), size_bytes=32)
-                self.acks_sent += 1
+                self._acks_sent.inc()
                 self.transmit(iface, ack)
                 return

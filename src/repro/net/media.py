@@ -17,25 +17,93 @@ relies on (§3.2.4, §6.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.faults import FaultPlan
 from repro.net.frames import BROADCAST, Frame, FrameKind
+from repro.obs import MetricsRegistry, Observability
 from repro.sim.engine import Engine
 
+#: Frame-size histogram bucket bounds (bytes).
+FRAME_SIZE_BUCKETS = (64, 128, 256, 512, 1024, 4096)
 
-@dataclass
+
 class MediumStats:
-    """Counters every medium keeps; benches and tests read these."""
+    """The medium's figures, registered in the unified metrics registry.
 
-    frames_offered: int = 0
-    frames_delivered: int = 0
-    bytes_delivered: int = 0
-    collisions: int = 0
-    recorder_misses: int = 0     # data frames the recorder failed to store
-    busy_time_ms: float = 0.0
+    Benches and tests keep reading ``medium.stats.frames_offered`` etc.;
+    these are now thin properties over ``MetricsRegistry`` counters under
+    the medium's scope (``media.<kind>.*``), so ``registry.snapshot()``
+    reports the same values.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "media"):
+        registry = registry or MetricsRegistry()
+        self._frames_offered = registry.counter(f"{prefix}.frames_offered")
+        self._frames_delivered = registry.counter(f"{prefix}.frames_delivered")
+        self._bytes_delivered = registry.counter(f"{prefix}.bytes_delivered")
+        self._collisions = registry.counter(f"{prefix}.collisions")
+        self._recorder_misses = registry.counter(f"{prefix}.recorder_misses")
+        self._busy_time_ms = registry.counter(f"{prefix}.busy_time_ms")
+        self._frame_bytes = registry.histogram(f"{prefix}.frame_bytes",
+                                               buckets=FRAME_SIZE_BUCKETS)
+
+    def note_offered(self, size_bytes: int) -> None:
+        """Count one offered frame and record its size."""
+        self._frames_offered.inc()
+        self._frame_bytes.observe(size_bytes)
+
+    # -- compatibility properties (the legacy attribute read path) -----
+    @property
+    def frames_offered(self) -> int:
+        return self._frames_offered.value
+
+    @frames_offered.setter
+    def frames_offered(self, value: int) -> None:
+        self._frames_offered.value = value
+
+    @property
+    def frames_delivered(self) -> int:
+        return self._frames_delivered.value
+
+    @frames_delivered.setter
+    def frames_delivered(self, value: int) -> None:
+        self._frames_delivered.value = value
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self._bytes_delivered.value
+
+    @bytes_delivered.setter
+    def bytes_delivered(self, value: int) -> None:
+        self._bytes_delivered.value = value
+
+    @property
+    def collisions(self) -> int:
+        return self._collisions.value
+
+    @collisions.setter
+    def collisions(self, value: int) -> None:
+        self._collisions.value = value
+
+    @property
+    def recorder_misses(self) -> int:
+        return self._recorder_misses.value
+
+    @recorder_misses.setter
+    def recorder_misses(self, value: int) -> None:
+        self._recorder_misses.value = value
+
+    @property
+    def busy_time_ms(self) -> float:
+        return self._busy_time_ms.value
+
+    @busy_time_ms.setter
+    def busy_time_ms(self, value: float) -> None:
+        self._busy_time_ms.value = value
 
     def utilization(self, elapsed_ms: float) -> float:
         """Fraction of elapsed time the medium was carrying bits."""
@@ -96,17 +164,23 @@ class Medium:
     #: (hardware ack), so the transport needs no explicit ACK frames.
     provides_delivery_ack = False
 
+    #: short name used for the medium's scope: ``media.<kind>``
+    kind = "medium"
+
     def __init__(self, engine: Engine, bandwidth_bps: float = 10_000_000,
                  interpacket_delay_ms: float = 1.6,
                  faults: Optional[FaultPlan] = None,
-                 enforce_recorder_ack: bool = False):
+                 enforce_recorder_ack: bool = False,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.bandwidth_bps = bandwidth_bps
         self.interpacket_delay_ms = interpacket_delay_ms
         self.faults = faults or FaultPlan()
         self.enforce_recorder_ack = enforce_recorder_ack
         self.interfaces: List[NetworkInterface] = []
-        self.stats = MediumStats()
+        self.obs = obs or Observability(lambda: engine.now)
+        self.events = self.obs.scope(f"media.{self.kind}")
+        self.stats = MediumStats(self.obs.registry, f"media.{self.kind}")
 
     # ------------------------------------------------------------------
     def attach(self, iface: NetworkInterface) -> NetworkInterface:
@@ -167,6 +241,8 @@ class Medium:
         if (self.enforce_recorder_ack and frame.kind is FrameKind.DATA
                 and not recorder_ok):
             self.stats.recorder_misses += 1
+            self.events.emit("recorder_miss", f"node{frame.src_node}",
+                             dst=frame.dst_node, bytes=frame.size_bytes)
             self._notify_sender(frame, False)
             return
         delivered = False
@@ -236,14 +312,16 @@ class PerfectBroadcast(Medium):
 
     provides_delivery_ack = True
 
+    kind = "broadcast"
+
     def __init__(self, *args, ack_latency_ms: float = 0.0, **kwargs):
         super().__init__(*args, **kwargs)
         self.ack_latency_ms = ack_latency_ms
-        self._queue: List[tuple] = []
+        self._queue: Deque[Tuple[NetworkInterface, Frame]] = deque()
         self._busy = False
 
     def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
-        self.stats.frames_offered += 1
+        self.stats.note_offered(frame.size_bytes)
         self._queue.append((iface, frame))
         if not self._busy:
             self._start_next()
@@ -253,7 +331,7 @@ class PerfectBroadcast(Medium):
             self._busy = False
             return
         self._busy = True
-        iface, frame = self._queue.pop(0)
+        iface, frame = self._queue.popleft()
         duration = self.tx_time_ms(frame.size_bytes)
         self.stats.busy_time_ms += duration
         self.engine.schedule(duration, self._complete, iface, frame)

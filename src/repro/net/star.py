@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.frames import BROADCAST, Frame, FrameKind
-from repro.net.media import Medium, MediumStats, NetworkInterface
+from repro.net.media import Medium, NetworkInterface
 from repro.sim.engine import Engine
 
 
@@ -27,6 +27,8 @@ class StarHub(Medium):
     """Point-to-point links to a recording hub that forwards frames."""
 
     provides_delivery_ack = True
+
+    kind = "star"
 
     def __init__(self, engine: Engine, hub_processing_ms: float = 0.8, **kwargs):
         super().__init__(engine, **kwargs)
@@ -50,7 +52,7 @@ class StarHub(Medium):
     def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
         if self.hub is None:
             raise NetworkError("star hub (recorder) not attached")
-        self.stats.frames_offered += 1
+        self.stats.note_offered(frame.size_bytes)
         if iface.is_recorder:
             # The hub itself is sending (watchdog pings, recovery
             # traffic, markers): it is already "at the hub", so record
@@ -83,6 +85,8 @@ class StarHub(Medium):
         if self.hub is None or not self.hub.up:
             # Hub down: nothing is forwarded; senders retransmit later.
             self.stats.recorder_misses += 1
+            self.events.emit("recorder_miss", f"node{frame.src_node}",
+                             reason="hub_down")
             self._notify_sender(frame, False)
             return
         seen = self.faults.apply(frame, self.hub.node_id)
@@ -90,6 +94,8 @@ class StarHub(Medium):
             # "Any messages received incorrectly by the recorder are not
             # passed on."
             self.stats.recorder_misses += 1
+            self.events.emit("recorder_miss", f"node{frame.src_node}",
+                             reason="hub_receive_error")
             self._notify_sender(frame, False)
             return
         self.hub.on_frame(seen)

@@ -41,17 +41,25 @@ class TokenRing(Medium):
 
     provides_delivery_ack = True
 
+    kind = "token_ring"
+
     def __init__(self, engine: Engine, params: Optional[TokenRingParams] = None,
                  **kwargs):
         super().__init__(engine, **kwargs)
         self.params = params or TokenRingParams()
         self._waiting: List[Tuple[NetworkInterface, Frame]] = []
         self._slot_busy = False
-        self.frames_invalidated = 0
+        self._frames_invalidated = self.obs.registry.counter(
+            f"media.{self.kind}.frames_invalidated")
+
+    @property
+    def frames_invalidated(self) -> int:
+        """Frames whose checksum the recorder complemented (§6.1.2)."""
+        return self._frames_invalidated.value
 
     # ------------------------------------------------------------------
     def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
-        self.stats.frames_offered += 1
+        self.stats.note_offered(frame.size_bytes)
         self._waiting.append((iface, frame))
         if not self._slot_busy:
             self._seize_token()
@@ -131,8 +139,11 @@ class TokenRing(Medium):
                         # Recorder complements the trailing checksum bytes
                         # so no downstream station can use the frame.
                         invalidated = True
-                        self.frames_invalidated += 1
+                        self._frames_invalidated.inc()
                         self.stats.recorder_misses += 1
+                        self.events.emit("invalidated",
+                                         f"node{frame.src_node}",
+                                         dst=frame.dst_node)
             elif ((not delivered or frame.dst_node == BROADCAST)
                     and frame.dst_node in (station.node_id, BROADCAST)
                     and (station.node_id != frame.src_node

@@ -32,6 +32,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Tuple
 from repro.errors import NetworkError
 from repro.net.frames import BROADCAST, Frame, FrameKind
 from repro.net.media import Medium, NetworkInterface
+from repro.obs import MetricsRegistry, Observability
 from repro.sim.engine import Engine, EventHandle
 
 
@@ -75,17 +76,44 @@ class TransportConfig:
     require_recorder_ack: bool = False
 
 
-@dataclass
 class TransportStats:
-    """Counters for tests and benches."""
+    """One node's transport figures, held in the unified registry.
 
-    sent: int = 0
-    delivered_up: int = 0
-    retransmissions: int = 0
-    duplicates_suppressed: int = 0
-    dropped_bad_checksum: int = 0
-    dropped_no_recorder_ack: int = 0
-    acks_sent: int = 0
+    The attributes tests and benches read (``sent``, ``retransmissions``,
+    ...) are compatibility properties over ``MetricsRegistry`` counters
+    under ``transport.<node>.*``; ``registry.snapshot()`` reports the
+    same values.
+    """
+
+    _COUNTERS = ("sent", "delivered_up", "retransmissions",
+                 "duplicates_suppressed", "dropped_bad_checksum",
+                 "dropped_no_recorder_ack", "acks_sent")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "transport"):
+        registry = registry or MetricsRegistry()
+        for field_name in self._COUNTERS:
+            object.__setattr__(self, f"_{field_name}",
+                               registry.counter(f"{prefix}.{field_name}"))
+
+    def _make_property(field_name):  # noqa: N805 - class-body helper
+        def getter(self):
+            return getattr(self, f"_{field_name}").value
+
+        def setter(self, value):
+            getattr(self, f"_{field_name}").value = value
+
+        return property(getter, setter)
+
+    sent = _make_property("sent")
+    delivered_up = _make_property("delivered_up")
+    retransmissions = _make_property("retransmissions")
+    duplicates_suppressed = _make_property("duplicates_suppressed")
+    dropped_bad_checksum = _make_property("dropped_bad_checksum")
+    dropped_no_recorder_ack = _make_property("dropped_no_recorder_ack")
+    acks_sent = _make_property("acks_sent")
+
+    del _make_property
 
 
 class _Outstanding:
@@ -107,7 +135,8 @@ class Transport:
                  on_receive: Callable[[Segment], None],
                  config: Optional[TransportConfig] = None,
                  is_recorder: bool = False,
-                 tap: Optional[Callable[[Frame], None]] = None):
+                 tap: Optional[Callable[[Frame], None]] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.medium = medium
         self.node_id = node_id
@@ -116,7 +145,12 @@ class Transport:
         #: called with every checksum-valid frame this interface hears,
         #: before destination filtering — the recorder's passive listener
         self.tap = tap
-        self.stats = TransportStats()
+        #: instrumentation rides the medium's spine unless given its own
+        self.obs = obs if obs is not None else medium.obs
+        prefix = f"transport.{node_id}"
+        self.events = self.obs.scope(prefix)
+        self.stats = TransportStats(self.obs.registry, prefix)
+        self._queue_depth = self.obs.registry.timeavg(f"{prefix}.queue_depth")
         self._outq: Deque[_Outstanding] = deque()
         self._in_flight: Dict[Tuple, _Outstanding] = {}
         self._dedup: "OrderedDict[Tuple, None]" = OrderedDict()
@@ -155,6 +189,7 @@ class Transport:
             self.iface.send(self._frame_for(segment, total))
             return
         self._outq.append(_Outstanding(segment, total))
+        self._queue_depth.update(self.queue_depth)
         self._pump()
 
     def _frame_for(self, segment: Segment, size_bytes: int) -> Frame:
@@ -211,8 +246,14 @@ class Transport:
             # Give up; guaranteed delivery holds only for temporary
             # failures, which max_retries bounds for simulation hygiene.
             del self._in_flight[out.segment.uid]
+            self._queue_depth.update(self.queue_depth)
+            self.events.emit("gave_up", f"node{self.node_id}",
+                             dst=out.segment.dst_node,
+                             attempts=out.attempts)
             self._pump()
             return
+        self.events.emit("retransmit", f"node{self.node_id}",
+                         dst=out.segment.dst_node, attempt=out.attempts)
         self._transmit(out)
 
     def _complete(self, uid: Tuple) -> None:
@@ -221,6 +262,7 @@ class Transport:
             return
         if out.timer is not None:
             out.timer.cancel()
+        self._queue_depth.update(self.queue_depth)
         self._pump()
 
     # ------------------------------------------------------------------
@@ -339,10 +381,13 @@ class Transport:
         self._next_stream_seq.clear()
         self._expected_seq.clear()
         self._reorder.clear()
+        self._queue_depth.update(0)
+        self.events.emit("crash", f"node{self.node_id}")
 
     def restart(self) -> None:
         """Come back up with empty queues (volatile state was lost)."""
         self.iface.up = True
+        self.events.emit("restart", f"node{self.node_id}")
 
     @property
     def queue_depth(self) -> int:

@@ -1,0 +1,57 @@
+"""repro.obs — the unified instrumentation spine.
+
+One :class:`Observability` object per simulated cluster carries:
+
+* an :class:`~repro.obs.events.EventBus` — the typed, scoped, totally
+  ordered event stream every layer traces into;
+* a :class:`~repro.obs.metrics.MetricsRegistry` — the counters, gauges,
+  time-weighted averages, and histograms every layer registers into.
+
+Layers reach their instruments through dotted scope names (``sim``,
+``media.<kind>``, ``transport.<node>``, ``kernel.<node>``, ``recorder``,
+``recovery``); benches and the CLI read everything back through
+``registry.snapshot()`` and ``bus.to_jsonl()``. The legacy per-layer
+stats objects (``MediumStats``, ``TransportStats``, recovery counters,
+...) are thin compatibility views over this registry — no layer keeps a
+private counter path.
+"""
+
+from typing import Callable, Optional
+
+from repro.obs.events import Event, EventBus, Scope
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedAverage,
+)
+
+
+class Observability:
+    """The event bus and metrics registry of one simulated cluster."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.bus = EventBus(clock)
+        self.registry = MetricsRegistry(clock)
+
+    def scope(self, name: str) -> Scope:
+        """Shorthand for ``bus.scope(name)``."""
+        return self.bus.scope(name)
+
+    def snapshot(self):
+        """Shorthand for ``registry.snapshot()``."""
+        return self.registry.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Scope",
+    "TimeWeightedAverage",
+]

@@ -40,6 +40,7 @@ from repro.demos.messages import Control, Message
 from repro.net.frames import Frame, FrameKind
 from repro.net.media import Medium
 from repro.net.transport import Segment, Transport, TransportConfig
+from repro.obs import Observability
 from repro.publishing.database import CheckpointEntry, ProcessRecord, RecorderDatabase
 from repro.publishing.disk import DiskArray, DiskParams, PageBuffer
 from repro.publishing.stable_storage import StableStorage
@@ -76,11 +77,18 @@ class Recorder:
     def __init__(self, engine: Engine, medium: Medium,
                  config: Optional[RecorderConfig] = None,
                  stable: Optional[StableStorage] = None,
-                 trace: Optional[TraceLog] = None):
+                 trace: Optional[TraceLog] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.medium = medium
         self.config = config or RecorderConfig()
-        self.trace = trace if trace is not None else TraceLog(lambda: engine.now)
+        #: instrumentation spine: the System's when given, else the
+        #: medium's, so recorder figures share the registry either way
+        self.obs = obs if obs is not None else medium.obs
+        if trace is not None:
+            self.trace = trace
+        else:
+            self.trace = TraceLog(bus=self.obs.bus, scope="recorder")
         self.stable = stable or StableStorage()
         db = self.stable.get("db")
         if db is None:
@@ -90,20 +98,35 @@ class Recorder:
         self.disks = DiskArray(engine, self.config.disks, self.config.disk_params)
         self.buffer = PageBuffer(self.disks, buffered=self.config.buffered_writes)
         self.up = True
-        self.cpu_busy_ms = 0.0
-        self.messages_recorded = 0
-        self.duplicates_ignored = 0
+        registry = self.obs.registry
+        self._cpu_busy_ms = registry.counter("recorder.cpu_busy_ms")
+        self._messages_recorded = registry.counter("recorder.messages_recorded")
+        self._duplicates_ignored = registry.counter("recorder.duplicates_ignored")
         self._control_handlers: Dict[str, Callable[[Control, int], None]] = {}
         self._arrival_signals: Dict[ProcessId, Signal] = {}
         self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
         self._marker_seq = itertools.count(1)
         self.transport = Transport(engine, medium, self.config.node_id,
                                    self._on_segment, self.config.transport,
-                                   is_recorder=True, tap=self.observe_frame)
+                                   is_recorder=True, tap=self.observe_frame,
+                                   obs=self.obs)
         # §4.4.1 ack tracing: the medium tells us when destinations
         # actually receive frames, fixing the log's reception order.
         self.transport.iface.on_delivery = self.observe_delivery
         self._register_builtin_handlers()
+
+    # -- compatibility properties over the unified registry -------------
+    @property
+    def cpu_busy_ms(self) -> float:
+        return self._cpu_busy_ms.value
+
+    @property
+    def messages_recorded(self) -> int:
+        return self._messages_recorded.value
+
+    @property
+    def duplicates_ignored(self) -> int:
+        return self._duplicates_ignored.value
 
     # ------------------------------------------------------------------
     # passive listening
@@ -140,7 +163,8 @@ class Recorder:
         """Stage one overheard message: database entry, CPU cost, disk
         bytes. The message joins the replay log when its delivery is
         observed (:meth:`observe_delivery`), in reception order."""
-        self.cpu_busy_ms += self.config.costs.publish_cpu_ms(self.config.publish_path)
+        self._cpu_busy_ms.inc(
+            self.config.costs.publish_cpu_ms(self.config.publish_path))
         sender = self.db.get(message.src)
         if sender is not None:
             sender.note_sent(message.msg_id.seq)
@@ -152,7 +176,7 @@ class Recorder:
         if self.config.selective and not record.recoverable:
             return    # §6.6.1: not published, not recovered
         if not record.stage_message(message):
-            self.duplicates_ignored += 1
+            self._duplicates_ignored.inc()
             return
         self.buffer.add(message.size_bytes)
 
@@ -174,7 +198,7 @@ class Recorder:
         if not record.confirm_message(message,
                                       self.db.allocate_arrival_index()):
             return          # duplicate delivery observation
-        self.messages_recorded += 1
+        self._messages_recorded.inc()
         sender = self.db.get(message.src)
         if sender is not None:
             sender.note_send_confirmed(message.msg_id.seq)

@@ -41,11 +41,18 @@ from repro.publishing.database import ProcessRecord
 from repro.publishing.recorder import Recorder
 from repro.publishing.watchdog import Watchdog
 from repro.sim.engine import Engine
+from repro.sim.trace import TraceLog
 
 
 @dataclass
 class RecoveryStats:
-    """Counters for tests and benches."""
+    """Counters for tests and benches.
+
+    Kept as a plain per-manager dataclass (multi-recorder configurations
+    run one manager per recorder and compare them individually); the
+    fields are mirrored into the shared metrics registry as ``recovery.*``
+    gauges.
+    """
 
     recoveries_started: int = 0
     recoveries_completed: int = 0
@@ -53,6 +60,10 @@ class RecoveryStats:
     node_crashes_detected: int = 0
     process_crash_reports: int = 0
     stale_state_replies: int = 0
+
+    FIELDS = ("recoveries_started", "recoveries_completed",
+              "messages_replayed", "node_crashes_detected",
+              "process_crash_reports", "stale_state_replies")
 
 
 class RecoveryManager:
@@ -71,6 +82,12 @@ class RecoveryManager:
         self.requery_interval_ms = requery_interval_ms
         self.watchdogs: Dict[int, Watchdog] = {}
         self.stats = RecoveryStats()
+        self.obs = recorder.obs
+        self.trace = TraceLog(bus=self.obs.bus, scope="recovery")
+        for name in RecoveryStats.FIELDS:
+            self.obs.registry.gauge_fn(
+                f"recovery.{name}",
+                (lambda s=self.stats, n=name: getattr(s, n)))
         #: hook invoked when a node crash is detected; the environment
         #: (System) restarts the node or brings in a spare. The recreate
         #: traffic retries until the node answers, so no handshake is
@@ -127,7 +144,7 @@ class RecoveryManager:
         """The watchdog timed out: treat as a crash of every process on
         the node (§1.1.2)."""
         self.stats.node_crashes_detected += 1
-        self.recorder.trace.emit("watchdog", f"node{node_id}", event="silent")
+        self.trace.emit("watchdog", f"node{node_id}", event="silent")
         if self.coordinator is not None and not self.coordinator.claim(node_id):
             return   # a higher-priority recorder is handling it (§6.3)
         self.recover_node(node_id)
@@ -252,8 +269,8 @@ class RecoveryManager:
         record.recovering = False
         record.node = node
         self.stats.recoveries_completed += 1
-        rec.trace.emit("recovery", str(pid), event="complete",
-                       replayed=index)
+        self.trace.emit("recovery", str(pid), event="complete",
+                        replayed=index)
         signal = self._completion_signals.get(pid)
         if signal is not None:
             signal.fire(pid)

@@ -197,11 +197,15 @@ class Engine:
         return sum(1 for h in self._heap if not h.cancelled)
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the heap is empty."""
-        for h in sorted(self._heap):
-            if not h.cancelled:
-                return h.time
-        return None
+        """Timestamp of the next live event, or None if the heap is empty.
+
+        Cancelled heads are popped lazily, so repeated peeks stay O(1)
+        amortised instead of sorting the whole heap on every call.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
 
 
 def run_simulation(setup: Callable[[Engine], Any], until: float) -> Tuple[Engine, Any]:

@@ -1,67 +1,75 @@
-"""Simulation tracing.
+"""Simulation tracing — legacy view over the unified event bus.
 
-A lightweight append-only trace of interesting events (message sends,
-publishes, crashes, recoveries). Used by tests to assert on orderings and
-by the replay debugger to show a process's history.
+Historically every component appended to one flat ``TraceLog``. The
+canonical stream now lives in :class:`repro.obs.events.EventBus`;
+``TraceLog`` survives as a thin compatibility handle that
+
+* **emits** into one named scope on the bus (``sim`` for the system,
+  ``kernel.<n>`` for a node kernel, ``recorder`` for the recorder, ...);
+* **reads** bus-wide, so ``system.trace.count("checkpoint")`` still sees
+  events regardless of which layer emitted them.
+
+A standalone ``TraceLog()`` (no bus given) creates a private bus, which
+keeps the original single-object behaviour for unit tests and ad-hoc
+use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
+from repro.obs.events import Event, EventBus
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One trace entry: what happened, where, when."""
-
-    time: float
-    category: str
-    subject: str
-    detail: Dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.time:10.3f}ms] {self.category:<12} {self.subject} {extras}"
+#: Legacy alias — trace records are bus events now.
+TraceRecord = Event
 
 
 class TraceLog:
-    """An in-memory trace with simple filtering helpers."""
+    """A scoped emitter plus a bus-wide read view (legacy API)."""
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
-        self._clock = clock or (lambda: 0.0)
-        self.records: List[TraceRecord] = []
-        self.enabled = True
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 bus: Optional[EventBus] = None, scope: str = "trace"):
+        self.bus = bus if bus is not None else EventBus(clock)
+        self._scope = self.bus.scope(scope)
+
+    @property
+    def scope_name(self) -> str:
+        """The scope this handle emits under."""
+        return self._scope.name
+
+    @property
+    def records(self) -> List[Event]:
+        """The full bus stream (all scopes), in emission order."""
+        return self.bus.events
+
+    @property
+    def enabled(self) -> bool:
+        return self.bus.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.bus.enabled = value
 
     def emit(self, category: str, subject: str, **detail: Any) -> None:
         """Append a record stamped with the current simulated time."""
-        if not self.enabled:
-            return
-        self.records.append(TraceRecord(self._clock(), category, subject, detail))
+        self._scope.emit(category, subject, **detail)
 
     def select(self, category: Optional[str] = None,
-               subject: Optional[str] = None) -> List[TraceRecord]:
+               subject: Optional[str] = None) -> List[Event]:
         """Records matching the given category and/or subject."""
-        out = []
-        for rec in self.records:
-            if category is not None and rec.category != category:
-                continue
-            if subject is not None and rec.subject != subject:
-                continue
-            out.append(rec)
-        return out
+        return self.bus.select(category, subject)
 
     def count(self, category: Optional[str] = None,
               subject: Optional[str] = None) -> int:
         """Number of records matching the filter."""
-        return len(self.select(category, subject))
+        return self.bus.count(category, subject)
 
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.bus.events)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.bus.events)
 
     def clear(self) -> None:
         """Drop all records."""
-        self.records.clear()
+        self.bus.clear()

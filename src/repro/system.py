@@ -48,6 +48,7 @@ from repro.net.transport import TransportConfig
 from repro.publishing.checkpoints import CheckpointPolicy, install_policy
 from repro.publishing.recorder import Recorder, RecorderConfig
 from repro.publishing.recovery_manager import RecoveryManager
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceLog
@@ -109,7 +110,13 @@ class System:
         self.config = config or SystemConfig()
         self.engine = engine or Engine()
         self.rng = RngStreams(self.config.master_seed)
-        self.trace = TraceLog(lambda: self.engine.now)
+        #: one instrumentation spine (event bus + metrics registry)
+        #: shared by every layer of the cluster
+        self.obs = Observability(lambda: self.engine.now)
+        self.trace = TraceLog(bus=self.obs.bus, scope="sim")
+        self.obs.registry.gauge_fn("sim.now", lambda: self.engine.now)
+        self.obs.registry.gauge_fn("sim.events_fired",
+                                   lambda: self.engine.events_fired)
         self.registry = registry or ProgramRegistry()
         self._register_builtin_images()
         self.faults = FaultPlan(rng=self.rng,
@@ -146,7 +153,8 @@ class System:
     def _build_medium(self) -> Medium:
         cfg = self.config
         kwargs = dict(faults=self.faults,
-                      enforce_recorder_ack=cfg.publishing)
+                      enforce_recorder_ack=cfg.publishing,
+                      obs=self.obs)
         if cfg.medium == "broadcast":
             return PerfectBroadcast(self.engine, **kwargs)
         if cfg.medium == "acking_ethernet":
@@ -172,7 +180,7 @@ class System:
                 per_destination=True, window=1),
         )
         self.recorder = Recorder(self.engine, self.medium, recorder_config,
-                                 trace=self.trace)
+                                 obs=self.obs)
         self.recovery = RecoveryManager(
             self.engine, self.recorder,
             node_ids=list(range(cfg.first_node_id,
@@ -194,7 +202,7 @@ class System:
                 ordered_window=cfg.transport_window > 1),
         )
         return Node(self.engine, node_id, self.medium, kernel_config,
-                    self.registry, self.trace)
+                    self.registry, obs=self.obs)
 
     def _restart_node_later(self, node_id: int) -> None:
         policy = self.config.reboot_policy
@@ -298,6 +306,21 @@ class System:
     def run_until_idle(self, max_ms: float = 60_000.0) -> float:
         """Run until no events remain or the guard expires."""
         return self.engine.run(until=self.engine.now + max_ms)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """A name-sorted snapshot of every registered metric."""
+        return self.obs.registry.snapshot()
+
+    def export_metrics(self, path: str) -> None:
+        """Write :meth:`metrics_snapshot` to ``path`` as JSON."""
+        self.obs.registry.export_json(path)
+
+    def export_trace(self, path: str) -> None:
+        """Write every recorded event to ``path`` as JSON lines."""
+        self.obs.bus.export_json(path)
 
     # ------------------------------------------------------------------
     # process management
