@@ -14,7 +14,10 @@ Commands:
 * ``trace``       — run a small crash/recovery scenario and dump the
   instrumentation event stream as JSON lines;
 * ``metrics``     — run the same scenario and dump the metrics-registry
-  snapshot as JSON.
+  snapshot as JSON;
+* ``chaos``       — run a fault campaign (scripted, from a file, or the
+  seed-determined monkey) against a live workload and print the
+  campaign report (see ``docs/CHAOS.md``).
 """
 
 from __future__ import annotations
@@ -186,6 +189,72 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_demo_campaign(nodes: int):
+    """The fixed demo campaign: one of everything, well spaced."""
+    from repro.chaos import (
+        ChaosCampaign,
+        CrashNode,
+        CrashRecorder,
+        DiskStall,
+        Partition,
+        RestartRecorder,
+    )
+    node_ids = list(range(1, nodes + 1))
+    actions = [CrashNode(2000.0, node=node_ids[-1])]
+    if len(node_ids) >= 2:
+        actions.append(Partition(4500.0,
+                                 groups=(tuple(node_ids[:1]),
+                                         tuple(node_ids[1:])),
+                                 duration_ms=1200.0))
+    actions.append(DiskStall(7000.0, duration_ms=300.0))
+    actions.append(CrashRecorder(9000.0))
+    actions.append(RestartRecorder(10500.0))
+    return ChaosCampaign(actions, name="demo")
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import load_campaign, monkey_campaign, run_scenario
+    from repro.sim.rng import RngStreams
+
+    def build_campaign():
+        if args.file:
+            return load_campaign(args.file)
+        if args.scenario == "monkey":
+            return monkey_campaign(RngStreams(args.seed),
+                                   list(range(1, args.nodes + 1)),
+                                   duration_ms=args.duration)
+        return _build_demo_campaign(args.nodes)
+
+    def run_once():
+        return run_scenario(build_campaign(), nodes=args.nodes,
+                            pairs=args.pairs, messages=args.messages,
+                            master_seed=args.seed, medium=args.medium)
+
+    if args.save_campaign:
+        build_campaign().save(args.save_campaign)
+    result = run_once()
+    identical = None
+    if args.verify_determinism:
+        identical = result.event_stream() == run_once().event_stream()
+    ok = result.ok and identical is not False
+    if args.json:
+        payload = result.report.to_dict()
+        payload["totals"] = result.totals
+        payload["expected_total"] = result.expected
+        if identical is not None:
+            payload["replay_identical"] = identical
+        payload["ok"] = ok
+        _write_or_print(json.dumps(payload, indent=2, sort_keys=True),
+                        args.output)
+    else:
+        text = result.report.format()
+        if identical is not None:
+            text += ("\n  replay: second run "
+                     + ("bit-identical" if identical else "DIVERGED"))
+        _write_or_print(text, args.output)
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -234,6 +303,40 @@ def main(argv=None) -> int:
                              help="only events whose scope matches this "
                                   "prefix (e.g. 'transport', 'kernel.1')")
         cmd.set_defaults(fn=fn)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault campaign and print the report")
+    chaos.add_argument("--scenario", default="demo",
+                       choices=["demo", "monkey"],
+                       help="demo: one fixed fault of each kind; "
+                            "monkey: seed-determined random campaign")
+    chaos.add_argument("--file", default=None,
+                       help="load the campaign from this JSON file "
+                            "(overrides --scenario)")
+    chaos.add_argument("--seed", type=int, default=1983,
+                       help="master seed (drives both the workload "
+                            "and the monkey)")
+    chaos.add_argument("--nodes", type=int, default=3)
+    chaos.add_argument("--pairs", type=int, default=3,
+                       help="counter/driver pairs in the workload")
+    chaos.add_argument("--messages", type=int, default=40,
+                       help="request/reply round trips per pair")
+    chaos.add_argument("--medium", default="broadcast",
+                       choices=media_choices)
+    chaos.add_argument("--duration", type=float, default=10_000.0,
+                       help="monkey campaign horizon (simulated ms)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    chaos.add_argument("--verify-determinism", action="store_true",
+                       help="run the campaign twice and require "
+                            "bit-identical event streams")
+    chaos.add_argument("--save-campaign", default=None,
+                       help="also write the campaign's action list to "
+                            "this JSON file")
+    chaos.add_argument("--output", default=None,
+                       help="write the report to this file instead of "
+                            "stdout")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,73 @@
+"""repro.chaos — deterministic fault-campaign engine.
+
+Schedule timed faults (crashes, outages, partitions, disk stalls)
+against a running :class:`~repro.System`, or let the seed-determined
+monkey pick them; then assert the thesis's reliability promises held.
+See ``docs/CHAOS.md``.
+"""
+
+from repro.chaos.actions import (
+    ACTION_KINDS,
+    ChaosAction,
+    CrashNode,
+    CrashProcess,
+    CrashRecorder,
+    DiskSlowdown,
+    DiskStall,
+    Heal,
+    Partition,
+    RestartNode,
+    RestartRecorder,
+    action_from_dict,
+)
+from repro.chaos.campaign import (
+    MONKEY_KINDS,
+    CampaignReport,
+    ChaosCampaign,
+    InvariantCheck,
+    build_report,
+    check_invariants,
+    load_campaign,
+    monkey_campaign,
+)
+from repro.chaos.workload import (
+    CHAOS_COUNTER_IMAGE,
+    CHAOS_DRIVER_IMAGE,
+    ChaosCounter,
+    ChaosDriver,
+    ScenarioResult,
+    expected_total,
+    register_chaos_programs,
+    run_scenario,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "CHAOS_COUNTER_IMAGE",
+    "CHAOS_DRIVER_IMAGE",
+    "CampaignReport",
+    "ChaosAction",
+    "ChaosCampaign",
+    "ChaosCounter",
+    "ChaosDriver",
+    "CrashNode",
+    "CrashProcess",
+    "CrashRecorder",
+    "DiskSlowdown",
+    "DiskStall",
+    "Heal",
+    "InvariantCheck",
+    "MONKEY_KINDS",
+    "Partition",
+    "RestartNode",
+    "RestartRecorder",
+    "ScenarioResult",
+    "action_from_dict",
+    "build_report",
+    "check_invariants",
+    "expected_total",
+    "load_campaign",
+    "monkey_campaign",
+    "register_chaos_programs",
+    "run_scenario",
+]

@@ -178,7 +178,8 @@ class MessageKernel:
     def __init__(self, engine: Engine, node_id: int, medium: Medium,
                  config: KernelConfig, registry: ProgramRegistry,
                  trace: Optional[TraceLog] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 rng=None):
         self.engine = engine
         self.node_id = node_id
         self.config = config
@@ -208,7 +209,7 @@ class MessageKernel:
         self.after_delivery: Optional[Callable[[ProcessControlRecord], None]] = None
         #: invoked on process crash reports, creation, destruction
         self.transport = Transport(engine, medium, node_id, self._on_segment,
-                                   config.transport, obs=self.obs)
+                                   config.transport, obs=self.obs, rng=rng)
         self._messages_sent = self.obs.registry.counter(
             f"kernel.{node_id}.messages_sent")
         self._messages_delivered = self.obs.registry.counter(

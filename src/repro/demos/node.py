@@ -32,11 +32,12 @@ class Node:
     def __init__(self, engine: Engine, node_id: int, medium: Medium,
                  config: KernelConfig, registry: ProgramRegistry,
                  trace: Optional[TraceLog] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 rng=None):
         self.engine = engine
         self.node_id = node_id
         self.kernel = MessageKernel(engine, node_id, medium, config,
-                                    registry, trace, obs=obs)
+                                    registry, trace, obs=obs, rng=rng)
         self.booted = False
         self._register_handlers()
 

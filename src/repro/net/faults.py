@@ -5,15 +5,25 @@ be lost or corrupted, and the transport layer's retransmission recovers
 them. A :class:`FaultPlan` decides, per delivery attempt, whether a frame
 is lost, corrupted, or delivered intact. Probabilistic faults draw from a
 named RNG stream so runs stay reproducible; targeted faults let tests
-drop *specific* frames (e.g. "the recorder misses the next data frame").
+drop *specific* frames (e.g. "the recorder misses the next data frame");
+standing **rules** model conditions that persist until removed — a
+network partition drops every frame crossing the cut until it heals.
+
+Fault totals live in the unified metrics registry (``faults.losses``,
+``faults.corruptions``, ``faults.partition_drops``): attaching the plan
+to a :class:`~repro.net.media.Medium` rebinds the counters into the
+medium's registry, so ``metrics`` CLI snapshots include injected faults.
+The ``losses`` / ``corruptions`` attributes remain available as
+compatibility properties, exactly as ``TransportStats`` does.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.net.frames import Frame
+from repro.obs import MetricsRegistry
 from repro.sim.rng import RngStreams
 
 
@@ -24,7 +34,21 @@ class _TargetedFault:
     remaining: int             # how many matching deliveries to affect
 
 
-@dataclass
+class FaultRule:
+    """A standing fault: every delivery matching ``predicate(frame,
+    receiver)`` is affected until the rule is removed. Partitions and
+    per-pair blackholes are built on this."""
+
+    __slots__ = ("predicate", "action", "name", "hits")
+
+    def __init__(self, predicate: Callable[[Frame, int], bool],
+                 action: str = "lose", name: str = "rule"):
+        self.predicate = predicate
+        self.action = action
+        self.name = name
+        self.hits = 0
+
+
 class FaultPlan:
     """Loss/corruption policy consulted on every frame delivery attempt.
 
@@ -33,13 +57,55 @@ class FaultPlan:
     the case the recorder-acknowledgement machinery exists for).
     """
 
-    rng: Optional[RngStreams] = None
-    loss_rate: float = 0.0
-    corruption_rate: float = 0.0
-    _targeted: List[_TargetedFault] = field(default_factory=list)
-    losses: int = 0
-    corruptions: int = 0
+    def __init__(self, rng: Optional[RngStreams] = None,
+                 loss_rate: float = 0.0, corruption_rate: float = 0.0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.corruption_rate = corruption_rate
+        self._targeted: List[_TargetedFault] = []
+        self._rules: List[FaultRule] = []
+        self.bind(registry or MetricsRegistry())
 
+    def bind(self, registry: MetricsRegistry) -> "FaultPlan":
+        """(Re)register the fault counters in ``registry``, carrying any
+        counts already accumulated. Media call this on construction so
+        one shared plan lands in the cluster-wide registry."""
+        old = getattr(self, "_losses", None), getattr(self, "_corruptions", None), \
+            getattr(self, "_partition_drops", None)
+        self._losses = registry.counter("faults.losses")
+        self._corruptions = registry.counter("faults.corruptions")
+        self._partition_drops = registry.counter("faults.partition_drops")
+        for counter, previous in zip(
+                (self._losses, self._corruptions, self._partition_drops), old):
+            if previous is not None and previous is not counter:
+                counter.value += previous.value
+        return self
+
+    # -- compatibility properties (the legacy attribute read path) -----
+    @property
+    def losses(self) -> int:
+        return self._losses.value
+
+    @losses.setter
+    def losses(self, value: int) -> None:
+        self._losses.value = value
+
+    @property
+    def corruptions(self) -> int:
+        return self._corruptions.value
+
+    @corruptions.setter
+    def corruptions(self, value: int) -> None:
+        self._corruptions.value = value
+
+    @property
+    def partition_drops(self) -> int:
+        return self._partition_drops.value
+
+    # ------------------------------------------------------------------
+    # targeted one-shot faults
+    # ------------------------------------------------------------------
     def lose_next(self, predicate: Callable[[Frame, int], bool], count: int = 1) -> None:
         """Drop the next ``count`` deliveries matching ``predicate(frame, receiver)``."""
         self._targeted.append(_TargetedFault(predicate, "lose", count))
@@ -48,32 +114,79 @@ class FaultPlan:
         """Corrupt the next ``count`` deliveries matching the predicate."""
         self._targeted.append(_TargetedFault(predicate, "corrupt", count))
 
+    # ------------------------------------------------------------------
+    # standing rules (partitions, blackholes)
+    # ------------------------------------------------------------------
+    def add_rule(self, predicate: Callable[[Frame, int], bool],
+                 action: str = "lose", name: str = "rule") -> FaultRule:
+        """Install a standing fault; returns the rule for later removal."""
+        rule = FaultRule(predicate, action, name)
+        self._rules.append(rule)
+        return rule
+
+    def remove_rule(self, rule: FaultRule) -> None:
+        """Lift a standing fault (a partition healing). Idempotent."""
+        if rule in self._rules:
+            self._rules.remove(rule)
+
+    def partition(self, *groups: Sequence[int]) -> FaultRule:
+        """Partition the network into node groups: every frame whose
+        sender and receiver sit in *different* groups is dropped — the
+        §4.3.3 "temporary network failure" in its most aggressive shape.
+        Nodes in no group (the recorder, usually) stay reachable from
+        everyone. Returns the rule; ``remove_rule`` heals the partition.
+        """
+        sets = [frozenset(g) for g in groups]
+
+        def crosses_cut(frame: Frame, receiver_node: int) -> bool:
+            src_group = dst_group = None
+            for group in sets:
+                if frame.src_node in group:
+                    src_group = group
+                if receiver_node in group:
+                    dst_group = group
+            return (src_group is not None and dst_group is not None
+                    and src_group is not dst_group)
+
+        label = "|".join(",".join(str(n) for n in sorted(g)) for g in sets)
+        return self.add_rule(crosses_cut, "lose", name=f"partition:{label}")
+
+    # ------------------------------------------------------------------
     def apply(self, frame: Frame, receiver_node: int) -> Optional[Frame]:
         """Decide the fate of ``frame`` at ``receiver_node``.
 
         Returns the frame to deliver (possibly a corrupted copy) or None
         if the frame is lost.
         """
+        for rule in self._rules:
+            if rule.predicate(frame, receiver_node):
+                rule.hits += 1
+                if rule.action == "lose":
+                    self._losses.inc()
+                    if rule.name.startswith("partition:"):
+                        self._partition_drops.inc()
+                    return None
+                return self._corrupted_copy(frame)
         for fault in list(self._targeted):
             if fault.remaining > 0 and fault.predicate(frame, receiver_node):
                 fault.remaining -= 1
                 if fault.remaining == 0:
                     self._targeted.remove(fault)
                 if fault.action == "lose":
-                    self.losses += 1
+                    self._losses.inc()
                     return None
                 return self._corrupted_copy(frame)
         if self.rng is not None:
             stream = self.rng.stream(f"faults/{receiver_node}")
             if self.loss_rate > 0 and stream.random() < self.loss_rate:
-                self.losses += 1
+                self._losses.inc()
                 return None
             if self.corruption_rate > 0 and stream.random() < self.corruption_rate:
                 return self._corrupted_copy(frame)
         return frame
 
     def _corrupted_copy(self, frame: Frame) -> Frame:
-        self.corruptions += 1
+        self._corruptions.inc()
         copy = Frame(
             kind=frame.kind,
             src_node=frame.src_node,

@@ -181,6 +181,9 @@ class Medium:
         self.obs = obs or Observability(lambda: engine.now)
         self.events = self.obs.scope(f"media.{self.kind}")
         self.stats = MediumStats(self.obs.registry, f"media.{self.kind}")
+        # Fault totals belong in the same registry as the medium's own
+        # figures, so `metrics` snapshots include injected faults.
+        self.faults.bind(self.obs.registry)
 
     # ------------------------------------------------------------------
     def attach(self, iface: NetworkInterface) -> NetworkInterface:

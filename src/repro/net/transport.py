@@ -34,6 +34,7 @@ from repro.net.frames import BROADCAST, Frame, FrameKind
 from repro.net.media import Medium, NetworkInterface
 from repro.obs import MetricsRegistry, Observability
 from repro.sim.engine import Engine, EventHandle
+from repro.sim.rng import RngStreams
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,18 @@ class TransportConfig:
     """Tunables for one node's transport layer."""
 
     retransmit_timeout_ms: float = 100.0
+    #: adaptive retransmission (§4.3.3's "network failures are
+    #: temporary"): each unacknowledged retry waits
+    #: ``timeout * backoff_factor**(attempt-1)`` ms, capped at
+    #: ``backoff_max_ms``, so a long outage (a rebooting node, a crashed
+    #: recorder) is probed at a decaying rate instead of a fixed drumbeat.
+    #: A factor of 1.0 restores the fixed timer.
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 2000.0
+    #: multiplicative jitter on each retry delay, drawn from a named RNG
+    #: stream when the transport has one (decorrelates retry storms
+    #: after a partition heals; 0 disables it)
+    backoff_jitter: float = 0.0
     max_retries: int = 1000
     dedup_cache_size: int = 4096
     header_bytes: int = 32
@@ -87,7 +100,7 @@ class TransportStats:
 
     _COUNTERS = ("sent", "delivered_up", "retransmissions",
                  "duplicates_suppressed", "dropped_bad_checksum",
-                 "dropped_no_recorder_ack", "acks_sent")
+                 "dropped_no_recorder_ack", "acks_sent", "gave_up")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  prefix: str = "transport"):
@@ -112,6 +125,7 @@ class TransportStats:
     dropped_bad_checksum = _make_property("dropped_bad_checksum")
     dropped_no_recorder_ack = _make_property("dropped_no_recorder_ack")
     acks_sent = _make_property("acks_sent")
+    gave_up = _make_property("gave_up")
 
     del _make_property
 
@@ -136,7 +150,8 @@ class Transport:
                  config: Optional[TransportConfig] = None,
                  is_recorder: bool = False,
                  tap: Optional[Callable[[Frame], None]] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 rng: Optional[RngStreams] = None):
         self.engine = engine
         self.medium = medium
         self.node_id = node_id
@@ -145,12 +160,20 @@ class Transport:
         #: called with every checksum-valid frame this interface hears,
         #: before destination filtering — the recorder's passive listener
         self.tap = tap
+        #: dead-letter hook: called with ``(segment, attempts)`` when a
+        #: guaranteed message exhausts ``max_retries`` — graceful
+        #: degradation instead of a silent drop
+        self.on_gave_up: Optional[Callable[[Segment, int], None]] = None
         #: instrumentation rides the medium's spine unless given its own
         self.obs = obs if obs is not None else medium.obs
+        #: named stream for retry jitter; None keeps retries jitter-free
+        self._jitter_rng = (rng.stream(f"transport/backoff/{node_id}")
+                            if rng is not None else None)
         prefix = f"transport.{node_id}"
         self.events = self.obs.scope(prefix)
         self.stats = TransportStats(self.obs.registry, prefix)
         self._queue_depth = self.obs.registry.timeavg(f"{prefix}.queue_depth")
+        self._backoff_ms = self.obs.registry.histogram(f"{prefix}.backoff_ms")
         self._outq: Deque[_Outstanding] = deque()
         self._in_flight: Dict[Tuple, _Outstanding] = {}
         self._dedup: "OrderedDict[Tuple, None]" = OrderedDict()
@@ -206,37 +229,59 @@ class Transport:
                 self._transmit(out)
             return
         # Per-destination windows: at most `window` outstanding per
-        # destination node, preserving per-destination FIFO order.
+        # destination node, preserving per-destination FIFO order. One
+        # pass over the queue: startable messages move to `started`,
+        # everything else is kept in order — no per-item remove().
         busy_dsts: Dict[int, int] = {}
         for inflight in self._in_flight.values():
             dst = inflight.segment.dst_node
             busy_dsts[dst] = busy_dsts.get(dst, 0) + 1
         started = []
-        blocked = set()
-        for out in list(self._outq):
+        remaining: Deque[_Outstanding] = deque()
+        for out in self._outq:
             dst = out.segment.dst_node
-            if dst in blocked:
-                continue
             if busy_dsts.get(dst, 0) >= self.config.window:
-                blocked.add(dst)   # keep FIFO order within a destination
+                remaining.append(out)   # keep FIFO order within a destination
                 continue
             busy_dsts[dst] = busy_dsts.get(dst, 0) + 1
-            blocked.add(dst)
             started.append(out)
+        self._outq = remaining
         for out in started:
-            self._outq.remove(out)
             self._in_flight[out.segment.uid] = out
             self._transmit(out)
 
+    def _retry_delay_ms(self, attempts: int) -> float:
+        """The wait before declaring attempt ``attempts`` unacknowledged:
+        exponential backoff with a cap, plus optional jitter."""
+        cfg = self.config
+        delay = cfg.retransmit_timeout_ms
+        if cfg.backoff_factor > 1.0 and attempts > 1:
+            delay = min(cfg.backoff_max_ms,
+                        delay * cfg.backoff_factor ** (attempts - 1))
+        if self._jitter_rng is not None and cfg.backoff_jitter > 0.0:
+            delay *= 1.0 + cfg.backoff_jitter * self._jitter_rng.random()
+        self._backoff_ms.observe(delay)
+        return delay
+
     def _transmit(self, out: _Outstanding) -> None:
         if not self.iface.up:
+            # Interface down between timeout and retransmit (a transient
+            # NIC outage, a detaching spare): keep the retry timer alive
+            # so the message leaves `_in_flight` by delivery or by
+            # exhausting max_retries — never by wedging forever. The
+            # skipped transmission still consumes an attempt, so a
+            # permanently dead interface ends in the dead-letter hook.
+            out.attempts += 1
+            out.timer = self.engine.schedule(
+                self._retry_delay_ms(out.attempts),
+                self._on_timeout, out)
             return
         out.attempts += 1
         if out.attempts > 1:
             self.stats.retransmissions += 1
         self.stats.sent += 1
         self.iface.send(self._frame_for(out.segment, out.size_bytes))
-        out.timer = self.engine.schedule(self.config.retransmit_timeout_ms,
+        out.timer = self.engine.schedule(self._retry_delay_ms(out.attempts),
                                          self._on_timeout, out)
 
     def _on_timeout(self, out: _Outstanding) -> None:
@@ -245,11 +290,15 @@ class Transport:
         if out.attempts >= self.config.max_retries:
             # Give up; guaranteed delivery holds only for temporary
             # failures, which max_retries bounds for simulation hygiene.
+            # The dead letter goes to `on_gave_up` instead of vanishing.
             del self._in_flight[out.segment.uid]
             self._queue_depth.update(self.queue_depth)
+            self.stats.gave_up += 1
             self.events.emit("gave_up", f"node{self.node_id}",
                              dst=out.segment.dst_node,
                              attempts=out.attempts)
+            if self.on_gave_up is not None:
+                self.on_gave_up(out.segment, out.attempts)
             self._pump()
             return
         self.events.emit("retransmit", f"node{self.node_id}",
@@ -364,7 +413,7 @@ class Transport:
             if out.timer is not None:
                 out.timer.cancel()
             out.timer = self.engine.schedule(
-                self.config.retransmit_timeout_ms, self._on_timeout, out)
+                self._retry_delay_ms(out.attempts), self._on_timeout, out)
 
     # ------------------------------------------------------------------
     # crash / restart support

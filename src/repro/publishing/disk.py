@@ -48,6 +48,19 @@ class DiskModel:
         self.writes = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        #: chaos hooks: a degraded spindle multiplies every operation
+        #: time; a stalled one accepts operations but starts none before
+        #: the stall lifts (a controller hiccup, a bus reset).
+        self.slowdown = 1.0
+        self.stalled_until = 0.0
+
+    def stall(self, duration_ms: float) -> float:
+        """Freeze the disk for ``duration_ms``; queued and newly
+        submitted operations start only after the stall lifts. Returns
+        the time the stall ends."""
+        self.stalled_until = max(self.stalled_until,
+                                 self.engine.now + duration_ms)
+        return self.stalled_until
 
     def submit(self, op: str, size_bytes: int,
                on_done: Optional[Callable[[], None]] = None) -> float:
@@ -56,8 +69,8 @@ class DiskModel:
             raise StorageError(f"unknown disk op {op!r}")
         if size_bytes <= 0:
             raise StorageError("disk operations must move at least one byte")
-        duration = self.params.op_time_ms(size_bytes)
-        start = max(self.engine.now, self._busy_until)
+        duration = self.params.op_time_ms(size_bytes) * self.slowdown
+        start = max(self.engine.now, self._busy_until, self.stalled_until)
         self._busy_until = start + duration
         self.busy_ms += duration
         if op == "read":
@@ -88,6 +101,7 @@ class DiskArray:
                  params: Optional[DiskParams] = None):
         if count < 1:
             raise StorageError("a disk array needs at least one disk")
+        self.engine = engine
         self.disks = [DiskModel(engine, params, name=f"disk{i}")
                       for i in range(count)]
 
@@ -95,6 +109,19 @@ class DiskArray:
                on_done: Optional[Callable[[], None]] = None) -> float:
         disk = min(self.disks, key=lambda d: d._busy_until)
         return disk.submit(op, size_bytes, on_done)
+
+    # -- chaos hooks ---------------------------------------------------
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) every spindle's service time."""
+        if factor <= 0:
+            raise StorageError("slowdown factor must be positive")
+        for disk in self.disks:
+            disk.slowdown = factor
+
+    def stall(self, duration_ms: float) -> float:
+        """Freeze every spindle for ``duration_ms`` (array-wide
+        controller stall); returns the time the stall ends."""
+        return max(disk.stall(duration_ms) for disk in self.disks)
 
     def utilization(self, elapsed_ms: float) -> float:
         """Mean utilization across the spindles."""

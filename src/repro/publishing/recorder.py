@@ -78,7 +78,8 @@ class Recorder:
                  config: Optional[RecorderConfig] = None,
                  stable: Optional[StableStorage] = None,
                  trace: Optional[TraceLog] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 rng=None):
         self.engine = engine
         self.medium = medium
         self.config = config or RecorderConfig()
@@ -109,7 +110,11 @@ class Recorder:
         self.transport = Transport(engine, medium, self.config.node_id,
                                    self._on_segment, self.config.transport,
                                    is_recorder=True, tap=self.observe_frame,
-                                   obs=self.obs)
+                                   obs=self.obs, rng=rng)
+        # Graceful degradation: a guaranteed send that exhausts its
+        # retries (a node that never came back) is traced as a dead
+        # letter rather than silently dropped.
+        self.transport.on_gave_up = self._on_dead_letter
         # §4.4.1 ack tracing: the medium tells us when destinations
         # actually receive frames, fixing the log's reception order.
         self.transport.iface.on_delivery = self.observe_delivery
@@ -340,6 +345,10 @@ class Recorder:
         self.transport.send(marker.dst.node, marker,
                             size_bytes=marker.size_bytes,
                             uid=tuple(marker.msg_id))
+
+    def _on_dead_letter(self, segment: Segment, attempts: int) -> None:
+        self.trace.emit("dead_letter", "recorder", dst=segment.dst_node,
+                        attempts=attempts)
 
     # ------------------------------------------------------------------
     # failure injection

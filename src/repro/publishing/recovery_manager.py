@@ -116,6 +116,7 @@ class RecoveryManager:
             on_crash=self._on_node_silent,
             ping_interval_ms=self.ping_interval_ms,
             timeout_ms=self.watchdog_timeout_ms,
+            obs=self.obs,
         )
         self.watchdogs[node_id] = dog
         dog.start()

@@ -16,17 +16,25 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.demos.messages import Control
+from repro.obs import Observability
 from repro.sim.engine import Engine, EventHandle
 
 
 class Watchdog:
-    """One watch process: pings a node, reports silence."""
+    """One watch process: pings a node, reports silence.
+
+    ``pings_sent`` / ``replies_seen`` live in the unified metrics
+    registry under ``watchdog.<node>.*`` when an instrumentation spine
+    is supplied, so chaos-campaign reports and ``metrics`` snapshots see
+    them; the attributes remain as compatibility properties.
+    """
 
     def __init__(self, engine: Engine, node_id: int,
                  send_ping: Callable[[int, Control], None],
                  on_crash: Callable[[int], None],
                  ping_interval_ms: float = 500.0,
-                 timeout_ms: float = 1500.0):
+                 timeout_ms: float = 1500.0,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.node_id = node_id
         self._send_ping = send_ping
@@ -38,8 +46,19 @@ class Watchdog:
         self._running = False
         self._fired = False
         self._tick_handle: Optional[EventHandle] = None
-        self.pings_sent = 0
-        self.replies_seen = 0
+        obs = obs or Observability(lambda: engine.now)
+        prefix = f"watchdog.{node_id}"
+        self.events = obs.scope(prefix)
+        self._pings_sent = obs.registry.counter(f"{prefix}.pings_sent")
+        self._replies_seen = obs.registry.counter(f"{prefix}.replies_seen")
+
+    @property
+    def pings_sent(self) -> int:
+        return self._pings_sent.value
+
+    @property
+    def replies_seen(self) -> int:
+        return self._replies_seen.value
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -69,19 +88,21 @@ class Watchdog:
         if control.get("node") != self.node_id:
             return
         self._last_reply = self.engine.now
-        self.replies_seen += 1
+        self._replies_seen.inc()
         self._fired = False
 
     def _tick(self) -> None:
         if not self._running:
             return
         self._nonce += 1
-        self.pings_sent += 1
+        self._pings_sent.inc()
         self._send_ping(self.node_id, Control("are_you_alive", {
             "nonce": self._nonce, "watched": self.node_id,
         }))
         silent_for = self.engine.now - self._last_reply
         if silent_for > self.timeout_ms and not self._fired:
             self._fired = True
+            self.events.emit("silent", f"node{self.node_id}",
+                             silent_for_ms=silent_for)
             self._on_crash(self.node_id)
         self._tick_handle = self.engine.schedule(self.ping_interval_ms, self._tick)

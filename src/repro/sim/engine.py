@@ -24,6 +24,12 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Negative delays no larger than this magnitude are float-arithmetic
+#: noise (``schedule_at(now + x) - now`` can land a hair below zero) and
+#: are clamped to "now"; anything more negative is a genuine attempt to
+#: schedule into the past and still raises.
+NEGATIVE_DELAY_EPSILON_MS = 1e-9
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event."""
@@ -99,7 +105,11 @@ class Engine:
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            if delay >= -NEGATIVE_DELAY_EPSILON_MS:
+                delay = 0.0
+            else:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         handle = EventHandle(self._now + delay, self._seq, fn, args)
         heapq.heappush(self._heap, handle)

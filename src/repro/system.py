@@ -86,6 +86,15 @@ class SystemConfig:
     watchdog_ping_ms: float = 500.0
     watchdog_timeout_ms: float = 1500.0
     retransmit_timeout_ms: float = 50.0
+    #: adaptive retransmission: retries back off exponentially by this
+    #: factor (1.0 = the original fixed timer), capped at
+    #: ``backoff_max_ms``, with optional multiplicative jitter drawn
+    #: from the cluster's named RNG streams (deterministic per
+    #: master_seed, but seed-*dependent* — so it defaults off, keeping
+    #: fault-free runs on randomness-free media seed-independent)
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 2000.0
+    backoff_jitter: float = 0.0
     #: transport window per node: 1 = the thesis's stop-and-wait ("only
     #: one unacknowledged message in transit from each processor"); >1
     #: enables the anticipated windowing scheme with receiver-side
@@ -121,8 +130,14 @@ class System:
         self._register_builtin_images()
         self.faults = FaultPlan(rng=self.rng,
                                 loss_rate=self.config.loss_rate,
-                                corruption_rate=self.config.corruption_rate)
+                                corruption_rate=self.config.corruption_rate,
+                                registry=self.obs.registry)
         self.medium = self._build_medium()
+        #: dead letters: (node_id, segment, attempts) for every
+        #: guaranteed message some transport finally gave up on
+        self.dead_letters: List[Tuple[int, object, int]] = []
+        #: active partition rules, in installation order
+        self._partitions: List[object] = []
         self.recorder: Optional[Recorder] = None
         self.recovery: Optional[RecoveryManager] = None
         if self.config.publishing:
@@ -177,10 +192,13 @@ class System:
             costs=cfg.costs,
             transport=TransportConfig(
                 retransmit_timeout_ms=cfg.retransmit_timeout_ms,
+                backoff_factor=cfg.backoff_factor,
+                backoff_max_ms=cfg.backoff_max_ms,
+                backoff_jitter=cfg.backoff_jitter,
                 per_destination=True, window=1),
         )
         self.recorder = Recorder(self.engine, self.medium, recorder_config,
-                                 obs=self.obs)
+                                 obs=self.obs, rng=self.rng)
         self.recovery = RecoveryManager(
             self.engine, self.recorder,
             node_ids=list(range(cfg.first_node_id,
@@ -197,12 +215,25 @@ class System:
             costs=cfg.costs,
             transport=TransportConfig(
                 retransmit_timeout_ms=cfg.retransmit_timeout_ms,
+                backoff_factor=cfg.backoff_factor,
+                backoff_max_ms=cfg.backoff_max_ms,
+                backoff_jitter=cfg.backoff_jitter,
                 require_recorder_ack=cfg.publishing,
                 window=cfg.transport_window,
                 ordered_window=cfg.transport_window > 1),
         )
-        return Node(self.engine, node_id, self.medium, kernel_config,
-                    self.registry, obs=self.obs)
+        node = Node(self.engine, node_id, self.medium, kernel_config,
+                    self.registry, obs=self.obs, rng=self.rng)
+        node.kernel.transport.on_gave_up = (
+            lambda segment, attempts, _n=node_id:
+            self._note_dead_letter(_n, segment, attempts))
+        return node
+
+    def _note_dead_letter(self, node_id: int, segment, attempts: int) -> None:
+        self.dead_letters.append((node_id, segment, attempts))
+        self.trace.emit("dead_letter", f"node{node_id}",
+                        dst=getattr(segment, "dst_node", None),
+                        attempts=attempts)
 
     def _restart_node_later(self, node_id: int) -> None:
         policy = self.config.reboot_policy
@@ -392,6 +423,56 @@ class System:
     def crash_node(self, node_id: int) -> None:
         """Fail a whole processor; the watchdog will notice."""
         self.nodes[node_id].crash()
+
+    def restart_node(self, node_id: int) -> None:
+        """Reboot a down processor immediately (operator action); the
+        recovery manager repopulates it as usual."""
+        node = self.nodes[node_id]
+        if not node.up:
+            node.restart()
+
+    def partition(self, *groups) -> object:
+        """Cut the network into node groups: frames crossing the cut are
+        dropped until :meth:`heal_partitions` (or ``heal(rule)``). Nodes
+        named in no group — the recorder, typically — remain reachable,
+        so the §4.3.3 "temporary network failure" hits node↔node traffic
+        while publishing continues to observe whatever still flows."""
+        rule = self.faults.partition(*groups)
+        self._partitions.append(rule)
+        self.trace.emit("partition", "net",
+                        groups=[sorted(g) for g in groups])
+        return rule
+
+    def heal(self, rule) -> None:
+        """Lift one partition rule."""
+        self.faults.remove_rule(rule)
+        if rule in self._partitions:
+            self._partitions.remove(rule)
+        self.trace.emit("partition_healed", "net")
+
+    def heal_partitions(self) -> int:
+        """Lift every active partition; returns how many were healed."""
+        healed = 0
+        for rule in list(self._partitions):
+            self.heal(rule)
+            healed += 1
+        return healed
+
+    def stall_disks(self, duration_ms: float) -> float:
+        """Freeze the recorder's disk array (controller stall); returns
+        the time the stall lifts."""
+        if self.recorder is None:
+            raise ReproError("this system has no recorder")
+        ends = self.recorder.disks.stall(duration_ms)
+        self.trace.emit("disk_stall", "recorder", until=ends)
+        return ends
+
+    def slow_disks(self, factor: float) -> None:
+        """Degrade (or with 1.0 restore) the recorder's disk speed."""
+        if self.recorder is None:
+            raise ReproError("this system has no recorder")
+        self.recorder.disks.set_slowdown(factor)
+        self.trace.emit("disk_slowdown", "recorder", factor=factor)
 
     def crash_recorder(self) -> None:
         """Fail the recorder; all published traffic suspends."""

@@ -14,6 +14,14 @@ gating, recorder restart reconciliation, and ack tracing in one run.
 import pytest
 
 from repro import System, SystemConfig
+from repro.chaos import (
+    ChaosCampaign,
+    CrashNode,
+    CrashRecorder,
+    Partition,
+    RestartRecorder,
+    run_scenario,
+)
 
 from conftest import expected_totals, register_test_programs
 
@@ -81,6 +89,53 @@ def test_chaos_campaign_exact_results():
     stats = system.recovery.stats
     assert stats.recoveries_completed >= 5
     assert stats.node_crashes_detected >= 1
+
+
+# ----------------------------------------------------------------------
+# seeded campaign matrix (repro.chaos): each scenario must preserve
+# replay-equivalence — two runs of the same seeded campaign are
+# bit-identical — and leave no transport wedged (queue_depth drains
+# to 0, checked by the report's `transports_drained` invariant).
+# ----------------------------------------------------------------------
+
+CAMPAIGN_MATRIX = {
+    # Recorder dies while it is mid-replay for a crashed node, then
+    # comes back and reconciles (§3.3.4).
+    "recorder_crash_mid_replay": lambda: ChaosCampaign([
+        CrashNode(1200.0, node=2),
+        CrashRecorder(3600.0),
+        RestartRecorder(5400.0),
+    ], name="recorder_crash_mid_replay"),
+    # The node crashes again while catching up — the recursive-crash
+    # epoch machinery (§3.5) must strand the old recovery and restart.
+    "node_crash_during_catchup": lambda: ChaosCampaign([
+        CrashNode(1200.0, node=2),
+        CrashNode(4400.0, node=2),
+    ], name="node_crash_during_catchup"),
+    # A partition cuts the client from its servers, heals, and the
+    # backed-off retransmissions must recover everything in order.
+    "partition_heal": lambda: ChaosCampaign([
+        Partition(1500.0, groups=((1,), (2, 3)), duration_ms=2200.0),
+    ], name="partition_heal"),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(CAMPAIGN_MATRIX))
+def test_seeded_campaign_matrix(scenario):
+    def once():
+        return run_scenario(CAMPAIGN_MATRIX[scenario](), nodes=3, pairs=2,
+                            messages=30, master_seed=77)
+
+    first = once()
+    assert first.ok, f"{scenario}:\n{first.report.format()}"
+    drained = {c.name: c for c in first.report.invariants}["transports_drained"]
+    assert drained.ok, drained.detail
+    assert first.totals == [first.expected] * 2
+
+    second = once()
+    assert first.event_stream() == second.event_stream(), \
+        f"{scenario}: replay diverged"
+    assert first.report.to_dict() == second.report.to_dict()
 
 
 def test_chaos_campaign_is_deterministic():

@@ -134,6 +134,116 @@ def test_receiver_down_then_up_gets_message():
     assert got[2] == ["late"]
 
 
+def test_sender_interface_down_during_retry_does_not_wedge():
+    """Regression: if the sender's own interface goes down between a
+    timeout firing and the retransmission, the message used to be left
+    in `_in_flight` with no timer — wedged forever. The retry timer must
+    stay alive across the outage."""
+    engine = Engine()
+    _, t1, t2, got = build_pair(engine)
+    t2.iface.up = False                    # force the retry path
+    t1.send(2, "survivor", 128, uid=("p", 1))
+    engine.run(until=50.0)                 # first copy lost; timer pending
+    t1.iface.up = False                    # NIC outage hits mid-retry
+    engine.run(until=450.0)                # retry timers fire while down
+    assert t1.queue_depth == 1             # still tracked, not abandoned
+    t1.iface.up = True
+    t2.restart()
+    engine.run(until=20_000.0)
+    assert got[2] == ["survivor"]
+    assert t1.queue_depth == 0
+
+
+def test_permanently_dead_interface_reaches_dead_letter_hook():
+    """A sender whose interface never comes back must not retry forever:
+    the skipped transmissions consume the retry budget and the message
+    ends in the `on_gave_up` dead-letter hook."""
+    engine = Engine()
+    cfg = TransportConfig(retransmit_timeout_ms=10.0, backoff_factor=1.0,
+                          max_retries=4)
+    _, t1, t2, got = build_pair(engine, config=cfg)
+    dead = []
+    t1.on_gave_up = lambda segment, attempts: dead.append(
+        (segment.body, attempts))
+    t1.iface.up = False
+    t1.send(2, "doomed", 128, uid=("p", 1))
+    engine.run()
+    assert dead == [("doomed", 4)]
+    assert t1.stats.gave_up == 1
+    assert t1.queue_depth == 0
+    assert got[2] == []
+
+
+def test_retry_delays_back_off_exponentially_and_cap():
+    engine = Engine()
+    cfg = TransportConfig(retransmit_timeout_ms=10.0, backoff_factor=2.0,
+                          backoff_max_ms=40.0)
+    _, t1, _, _ = build_pair(engine, config=cfg)
+    assert [t1._retry_delay_ms(k) for k in range(1, 6)] == \
+        [10.0, 20.0, 40.0, 40.0, 40.0]
+
+
+def test_backoff_factor_one_restores_fixed_timer():
+    engine = Engine()
+    cfg = TransportConfig(retransmit_timeout_ms=25.0, backoff_factor=1.0)
+    _, t1, _, _ = build_pair(engine, config=cfg)
+    assert [t1._retry_delay_ms(k) for k in range(1, 5)] == [25.0] * 4
+
+
+def test_backoff_jitter_bounded_and_seed_deterministic():
+    def delays(seed):
+        engine = Engine()
+        medium = PerfectBroadcast(engine)
+        cfg = TransportConfig(retransmit_timeout_ms=10.0, backoff_factor=2.0,
+                              backoff_max_ms=80.0, backoff_jitter=0.5)
+        t = Transport(engine, medium, 1, lambda s: None, cfg,
+                      rng=RngStreams(seed))
+        return [t._retry_delay_ms(k) for k in range(1, 5)]
+
+    first = delays(7)
+    for base, got in zip([10.0, 20.0, 40.0, 80.0], first):
+        assert base <= got <= base * 1.5
+    assert first == delays(7)              # same seed, same jitter
+    assert first != delays(8)
+
+
+def test_per_destination_pump_is_linear_in_queue_depth():
+    """Benchmark-style regression for the O(n²) pump: starting n queued
+    messages to n distinct destinations used to cost one deque.remove()
+    (O(n)) per start. A single pass is linear, so quadrupling the queue
+    must not blow the cost up ~16x."""
+    import time
+
+    from repro.net.transport import _Outstanding, Segment
+
+    def pump_seconds(depth):
+        engine = Engine()
+        medium = PerfectBroadcast(engine)
+        cfg = TransportConfig(per_destination=True, window=1)
+        t = Transport(engine, medium, 1, lambda s: None, cfg)
+        best = float("inf")
+        for _ in range(3):
+            t._outq.clear()
+            t._in_flight.clear()
+            for i in range(depth):
+                segment = Segment(uid=("p", i), src_node=1, dst_node=2 + i,
+                                  body=i, guaranteed=True)
+                t._outq.append(_Outstanding(segment, 160))
+            start = time.perf_counter()
+            t._pump()
+            best = min(best, time.perf_counter() - start)
+            for out in list(t._in_flight.values()):
+                if out.timer is not None:
+                    out.timer.cancel()
+        return best
+
+    small, large = pump_seconds(500), pump_seconds(2000)
+    # Linear ⇒ ~4x; the old quadratic pump is ~16x. Leave slack for
+    # noisy CI machines.
+    assert large < max(10 * small, 0.005), \
+        f"pump scaled superlinearly: {small:.6f}s -> {large:.6f}s"
+
+
 def test_per_destination_window_avoids_head_of_line_blocking():
     engine = Engine()
     medium = PerfectBroadcast(engine)

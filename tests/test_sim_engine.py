@@ -62,6 +62,22 @@ def test_negative_delay_rejected():
         engine.schedule(-1.0, lambda: None)
 
 
+def test_microscopic_negative_delay_clamped_to_now():
+    """Float round-off in `schedule_at(now - epsilon)` chains (computed
+    absolute deadlines) must not abort the run: deltas within 1e-9 ms of
+    zero clamp to "fire now", genuinely past times still raise."""
+    engine = Engine()
+    engine.schedule(7.3, lambda: None)
+    engine.run()
+    fired = []
+    engine.schedule(-1e-12, fired.append, "delay")
+    engine.schedule_at(engine.now - 1e-10, fired.append, "at")
+    engine.run()
+    assert sorted(fired) == ["at", "delay"]
+    with pytest.raises(SimulationError):
+        engine.schedule_at(engine.now - 1.0, lambda: None)
+
+
 def test_schedule_at_absolute_time():
     engine = Engine()
     engine.schedule(10.0, lambda: None)
