@@ -2,21 +2,19 @@
 
 from __future__ import annotations
 
-import importlib.util
 import os
+import sys
 
 from repro import System, SystemConfig
 
-# Load the test fixtures module by path ("conftest" is taken by the
-# benchmarks' own conftest in sys.modules).
-_fixtures_path = os.path.join(os.path.dirname(__file__), "..", "tests",
-                              "conftest.py")
-_spec = importlib.util.spec_from_file_location("repro_test_fixtures",
-                                               _fixtures_path)
-_fixtures = importlib.util.module_from_spec(_spec)
-_spec.loader.exec_module(_fixtures)
-register_test_programs = _fixtures.register_test_programs
-run_counter_scenario = _fixtures.run_counter_scenario
+# The shared programs live in tests/fixtures.py (pytest-free precisely
+# so this import works outside the test suite).
+_tests_dir = os.path.abspath(os.path.join(os.path.dirname(__file__), "..",
+                                          "tests"))
+if _tests_dir not in sys.path:
+    sys.path.insert(0, _tests_dir)
+
+from fixtures import register_test_programs, run_counter_scenario  # noqa: E402
 
 
 def build_counter_system(n: int = 100):

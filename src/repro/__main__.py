@@ -17,7 +17,9 @@ Commands:
   snapshot as JSON;
 * ``chaos``       — run a fault campaign (scripted, from a file, or the
   seed-determined monkey) against a live workload and print the
-  campaign report (see ``docs/CHAOS.md``).
+  campaign report (see ``docs/CHAOS.md``);
+* ``perf``        — run the deterministic benchmark workloads and write
+  ``BENCH_publishing.json`` (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -255,6 +257,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.harness import main as perf_main
+
+    return perf_main(seed=args.seed, smoke=args.smoke, output=args.output,
+                     only=args.workload or None, compare=args.compare,
+                     tolerance=args.tolerance)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -337,6 +347,28 @@ def main(argv=None) -> int:
                        help="write the report to this file instead of "
                             "stdout")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf", help="run the benchmark workloads, write "
+                     "BENCH_publishing.json")
+    perf.add_argument("--smoke", action="store_true",
+                      help="small workload sizes (seconds, for CI)")
+    perf.add_argument("--seed", type=int, default=1983,
+                      help="master seed for every workload")
+    perf.add_argument("--workload", action="append", default=None,
+                      metavar="NAME",
+                      help="run only this workload (repeatable); "
+                           "default: all")
+    perf.add_argument("--output", default="BENCH_publishing.json",
+                      help="report path ('' to skip writing)")
+    perf.add_argument("--compare", default=None, metavar="BASELINE.json",
+                      help="fail (exit 1) if any workload's ops/sec "
+                           "regressed more than --tolerance vs this "
+                           "earlier report")
+    perf.add_argument("--tolerance", type=float, default=0.25,
+                      help="allowed fractional throughput drop for "
+                           "--compare (default 0.25)")
+    perf.set_defaults(fn=_cmd_perf)
 
     args = parser.parse_args(argv)
     try:

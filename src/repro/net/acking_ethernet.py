@@ -45,6 +45,8 @@ class AckingEthernet(CsmaEthernet):
         self.ack_slot_ms = ack_slot_ms
         self._reserved_slots = self.obs.registry.counter(
             f"media.{self.kind}.reserved_slots")
+        # Bound once: one ack-slot delivery is scheduled per data frame.
+        self._deliver_cb = self._deliver_to_receivers
 
     @property
     def reserved_slots(self) -> int:
@@ -63,18 +65,18 @@ class AckingEthernet(CsmaEthernet):
             duration_with_slot = duration
         self._busy_until = self.engine.now + duration_with_slot
         self.stats.busy_time_ms += duration_with_slot
-        self.engine.schedule(duration, self._complete, iface, frame)
+        self.engine.schedule(duration, self._complete_cb, iface, frame)
 
     def _complete(self, iface: NetworkInterface, frame: Frame) -> None:
         if not iface.up:
             return
         stored = self._record_frame(frame)
-        recorder_ok = stored or not self.recorders()
+        recorder_ok = stored or not self._recorder_ifaces
         # Receivers learn the frame's fate at the end of the reserved
         # slot; `_deliver_to_receivers` also raises the sender's
         # `on_delivered` hardware acknowledgement (provides_delivery_ack).
         if frame.kind is FrameKind.DATA:
-            self.engine.schedule(self.ack_slot_ms, self._deliver_to_receivers,
+            self.engine.schedule(self.ack_slot_ms, self._deliver_cb,
                                  frame, recorder_ok)
         else:
             self._deliver_to_receivers(frame, recorder_ok)

@@ -52,6 +52,11 @@ class CsmaEthernet(Medium):
         #: transmissions waiting to start, grouped by their start slot
         self._starting: List[Tuple[NetworkInterface, Frame, int]] = []
         self._resolution_pending = False
+        # Bound once: deferred attempts, slot resolution and completions
+        # are scheduled for every frame on the bus.
+        self._attempt_cb = self._attempt
+        self._resolve_cb = self._resolve
+        self._complete_cb = self._complete
         prefix = f"media.{self.kind}"
         self._acks_sent = self.obs.registry.counter(f"{prefix}.acks_sent")
         self._ack_collisions = self.obs.registry.counter(
@@ -76,14 +81,14 @@ class CsmaEthernet(Medium):
         now = self.engine.now
         if now < self._busy_until:
             # Defer until the carrier drops, then contend.
-            self.engine.schedule(self._busy_until - now, self._attempt,
+            self.engine.schedule(self._busy_until - now, self._attempt_cb,
                                  iface, frame, attempt)
             return
         self._starting.append((iface, frame, attempt))
         if not self._resolution_pending:
             self._resolution_pending = True
             # All stations starting within one slot time collide.
-            self.engine.schedule(self.params.slot_time_ms, self._resolve)
+            self.engine.schedule(self.params.slot_time_ms, self._resolve_cb)
 
     def _resolve(self) -> None:
         self._resolution_pending = False
@@ -110,19 +115,19 @@ class CsmaEthernet(Medium):
             exp = min(attempt, self.params.max_backoff_exp)
             slots = self.rng.stream(f"ether/{iface.node_id}").randrange(0, 2 ** exp)
             delay = self.params.slot_time_ms * (1 + slots)
-            self.engine.schedule(delay, self._attempt, iface, frame, attempt)
+            self.engine.schedule(delay, self._attempt_cb, iface, frame, attempt)
 
     def _begin_transmission(self, iface: NetworkInterface, frame: Frame) -> None:
         duration = self.tx_time_ms(frame.size_bytes)
         self._busy_until = self.engine.now + duration
         self.stats.busy_time_ms += duration
-        self.engine.schedule(duration, self._complete, iface, frame)
+        self.engine.schedule(duration, self._complete_cb, iface, frame)
 
     def _complete(self, iface: NetworkInterface, frame: Frame) -> None:
         if not iface.up:
             return
         stored = self._record_frame(frame)
-        recorder_ok = stored or not self.recorders()
+        recorder_ok = stored or not self._recorder_ifaces
         self._deliver_to_receivers(frame, recorder_ok)
         if self.params.auto_ack and frame.kind is FrameKind.DATA:
             self._send_auto_ack(frame)

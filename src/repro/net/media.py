@@ -178,6 +178,9 @@ class Medium:
         self.faults = faults or FaultPlan()
         self.enforce_recorder_ack = enforce_recorder_ack
         self.interfaces: List[NetworkInterface] = []
+        #: cached view of the recorder interfaces (attach/detach rebuild
+        #: it), so per-frame paths don't rescan every station
+        self._recorder_ifaces: List[NetworkInterface] = []
         self.obs = obs or Observability(lambda: engine.now)
         self.events = self.obs.scope(f"media.{self.kind}")
         self.stats = MediumStats(self.obs.registry, f"media.{self.kind}")
@@ -192,6 +195,8 @@ class Medium:
             raise NetworkError(f"node id {iface.node_id} already attached")
         iface.medium = self
         self.interfaces.append(iface)
+        if iface.is_recorder:
+            self._recorder_ifaces.append(iface)
         return iface
 
     def detach(self, iface: NetworkInterface) -> None:
@@ -199,6 +204,8 @@ class Medium:
         spare that assumes its identity, §3.3.3/§4.6)."""
         if iface in self.interfaces:
             self.interfaces.remove(iface)
+            if iface in self._recorder_ifaces:
+                self._recorder_ifaces.remove(iface)
             iface.medium = None
             iface.up = False
 
@@ -212,8 +219,9 @@ class Medium:
         return size_bytes * 8.0 / self.bandwidth_bps * 1000.0 + self.interpacket_delay_ms
 
     def recorders(self) -> List[NetworkInterface]:
-        """All attached recorder interfaces (healthy or not)."""
-        return [i for i in self.interfaces if i.is_recorder]
+        """All attached recorder interfaces (healthy or not). The list
+        is the medium's cache — treat it as read-only."""
+        return self._recorder_ifaces
 
     # ------------------------------------------------------------------
     def _record_frame(self, frame: Frame) -> bool:
@@ -226,17 +234,18 @@ class Medium:
         be stored and guaranteed traffic stalls until one returns
         (§3.3.4).
         """
-        healthy = [r for r in self.recorders() if r.up]
-        if not healthy:
-            return False
+        any_healthy = False
         stored_by_all = True
-        for rec in healthy:
+        for rec in self._recorder_ifaces:
+            if not rec.up:
+                continue
+            any_healthy = True
             seen = self.faults.apply(frame, rec.node_id)
             if seen is not None and seen.checksum_ok():
                 rec.on_frame(seen)
             else:
                 stored_by_all = False
-        return stored_by_all
+        return any_healthy and stored_by_all
 
     def _deliver_to_receivers(self, frame: Frame, recorder_ok: bool) -> None:
         """Deliver the frame to its destination(s), honouring the
@@ -272,7 +281,7 @@ class Medium:
             # Traffic addressed to the recorder node itself (checkpoints,
             # notices) was already handed over during recording.
             delivered = any(r.node_id == frame.dst_node and r.up
-                            for r in self.recorders())
+                            for r in self._recorder_ifaces)
         if delivered:
             self.stats.frames_delivered += 1
             self.stats.bytes_delivered += frame.size_bytes
@@ -284,7 +293,7 @@ class Medium:
         reflect reception order rather than recording order."""
         if frame.kind is not FrameKind.DATA:
             return
-        for rec in self.recorders():
+        for rec in self._recorder_ifaces:
             if rec.up and rec.on_delivery is not None:
                 rec.on_delivery(frame)
 
@@ -322,6 +331,10 @@ class PerfectBroadcast(Medium):
         self.ack_latency_ms = ack_latency_ms
         self._queue: Deque[Tuple[NetworkInterface, Frame]] = deque()
         self._busy = False
+        # Bound once: scheduling `self._complete` per frame would build
+        # a fresh bound-method object for every event on the bus.
+        self._complete_cb = self._complete
+        self._deliver_cb = self._deliver_to_receivers
 
     def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
         self.stats.note_offered(frame.size_bytes)
@@ -337,17 +350,17 @@ class PerfectBroadcast(Medium):
         iface, frame = self._queue.popleft()
         duration = self.tx_time_ms(frame.size_bytes)
         self.stats.busy_time_ms += duration
-        self.engine.schedule(duration, self._complete, iface, frame)
+        self.engine.schedule(duration, self._complete_cb, iface, frame)
 
     def _complete(self, iface: NetworkInterface, frame: Frame) -> None:
         if iface.up:
             stored = self._record_frame(frame)
             # With no recorder attached (publishing disabled) the ack rule
             # is vacuous and frames flow normally.
-            recorder_ok = stored or not self.recorders()
+            recorder_ok = stored or not self._recorder_ifaces
             if self.ack_latency_ms > 0:
                 self.engine.schedule(self.ack_latency_ms,
-                                     self._deliver_to_receivers,
+                                     self._deliver_cb,
                                      frame, recorder_ok)
             else:
                 self._deliver_to_receivers(frame, recorder_ok)

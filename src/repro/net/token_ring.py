@@ -49,6 +49,8 @@ class TokenRing(Medium):
         self.params = params or TokenRingParams()
         self._waiting: List[Tuple[NetworkInterface, Frame]] = []
         self._slot_busy = False
+        # Bound once: a frame's circulation schedules one visit per hop.
+        self._visit_cb = self._visit
         self._frames_invalidated = self.obs.registry.counter(
             f"media.{self.kind}.frames_invalidated")
 
@@ -95,7 +97,7 @@ class TokenRing(Medium):
                  ring: List[NetworkInterface], index: int,
                  ack_filled: bool, invalidated: bool, delivered: bool,
                  passes: int, delay: float) -> None:
-        self.engine.schedule(delay + self.params.hop_time_ms, self._visit,
+        self.engine.schedule(delay + self.params.hop_time_ms, self._visit_cb,
                              sender, frame, ring, index, ack_filled,
                              invalidated, delivered, passes)
 
@@ -105,7 +107,7 @@ class TokenRing(Medium):
                passes: int) -> None:
         if index >= len(ring):
             passes += 1
-            ok = (ack_filled or not self.recorders()) and not invalidated
+            ok = (ack_filled or not self._recorder_ifaces) and not invalidated
             if ok and not delivered and passes < 2:
                 # The destination sits upstream of the recorder: it saw an
                 # empty ack field on the first pass. Circulate once more
@@ -151,12 +153,13 @@ class TokenRing(Medium):
                          # their own station (§4.4.1)
                          or frame.dst_node == frame.src_node)):
                 usable = not invalidated
-                if self.recorders() and not ack_filled:
+                if self._recorder_ifaces and not ack_filled:
                     usable = False   # empty ack field: ignore (publishing rule)
                 if usable:
                     seen = self.faults.apply(frame, station.node_id)
                     if seen is not None:
-                        seen.recorder_acked = ack_filled or not self.recorders()
+                        seen.recorder_acked = (ack_filled
+                                               or not self._recorder_ifaces)
                         station.on_frame(seen)
                         delivered = True
                         self._notify_recorders_of_delivery(frame)

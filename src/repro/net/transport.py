@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.frames import BROADCAST, Frame, FrameKind
@@ -131,15 +132,20 @@ class TransportStats:
 
 
 class _Outstanding:
-    """A guaranteed message awaiting acknowledgement."""
+    """A guaranteed message awaiting acknowledgement.
 
-    __slots__ = ("segment", "size_bytes", "attempts", "timer")
+    ``stamp`` identifies the message's *latest* retry arming: the
+    coalesced timer wheel leaves superseded heap entries in place and
+    recognises them as stale because their tick no longer matches.
+    """
+
+    __slots__ = ("segment", "size_bytes", "attempts", "stamp")
 
     def __init__(self, segment: Segment, size_bytes: int):
         self.segment = segment
         self.size_bytes = size_bytes
         self.attempts = 0
-        self.timer: Optional[EventHandle] = None
+        self.stamp = 0
 
 
 class Transport:
@@ -176,6 +182,17 @@ class Transport:
         self._backoff_ms = self.obs.registry.histogram(f"{prefix}.backoff_ms")
         self._outq: Deque[_Outstanding] = deque()
         self._in_flight: Dict[Tuple, _Outstanding] = {}
+        #: coalesced retransmission timer wheel: all retry deadlines live
+        #: in this local heap of ``(deadline, tick, out)`` and a single
+        #: engine event (``_wheel``) covers the earliest of them, instead
+        #: of one engine timer per in-flight message. Entries are never
+        #: removed eagerly — acks and re-arms leave stale entries behind,
+        #: recognised on pop because the message left ``_in_flight`` or
+        #: its ``stamp`` moved on.
+        self._timers: List[Tuple[float, int, _Outstanding]] = []
+        self._timer_tick = 0
+        self._wheel: Optional[EventHandle] = None
+        self._wheel_deadline = 0.0
         self._dedup: "OrderedDict[Tuple, None]" = OrderedDict()
         #: sender side: next stream sequence per destination node
         self._next_stream_seq: Dict[int, int] = {}
@@ -263,6 +280,61 @@ class Transport:
         self._backoff_ms.observe(delay)
         return delay
 
+    def _arm_retry(self, out: _Outstanding) -> None:
+        """(Re)arm the retry deadline for ``out`` on the timer wheel."""
+        deadline = self.engine.now + self._retry_delay_ms(out.attempts)
+        tick = self._timer_tick + 1
+        self._timer_tick = tick
+        out.stamp = tick
+        heappush(self._timers, (deadline, tick, out))
+        self._rearm_wheel()
+
+    def _entry_live(self, entry: Tuple[float, int, _Outstanding]) -> bool:
+        """Is this wheel entry still the current deadline for a message
+        that is still awaiting acknowledgement?"""
+        out = entry[2]
+        return (self._in_flight.get(out.segment.uid) is out
+                and out.stamp == entry[1])
+
+    def _rearm_wheel(self) -> None:
+        """Point the single engine timer at the earliest live deadline
+        (pruning stale heap heads), or cancel it if none remain."""
+        timers = self._timers
+        while timers and not self._entry_live(timers[0]):
+            heappop(timers)
+        if not timers:
+            if self._wheel is not None:
+                self._wheel.cancel()
+                self._wheel = None
+            return
+        earliest = timers[0][0]
+        if self._wheel is not None:
+            if self._wheel_deadline <= earliest:
+                return
+            self._wheel.cancel()
+        self._wheel = self.engine.schedule(earliest - self.engine.now,
+                                           self._on_wheel)
+        self._wheel_deadline = earliest
+
+    def _on_wheel(self) -> None:
+        """The wheel fired: time out every message whose deadline is due,
+        in arming order, then re-aim at the next deadline."""
+        self._wheel = None
+        timers = self._timers
+        now = self.engine.now
+        due: List[_Outstanding] = []
+        while timers and timers[0][0] <= now:
+            entry = heappop(timers)
+            if self._entry_live(entry):
+                due.append(entry[2])
+        for out in due:
+            # Re-check: an earlier timeout in this batch can give up and
+            # pump fresh sends, but never silently complete this one —
+            # still, only act on messages that remain in flight.
+            if self._in_flight.get(out.segment.uid) is out:
+                self._on_timeout(out)
+        self._rearm_wheel()
+
     def _transmit(self, out: _Outstanding) -> None:
         if not self.iface.up:
             # Interface down between timeout and retransmit (a transient
@@ -272,17 +344,14 @@ class Transport:
             # skipped transmission still consumes an attempt, so a
             # permanently dead interface ends in the dead-letter hook.
             out.attempts += 1
-            out.timer = self.engine.schedule(
-                self._retry_delay_ms(out.attempts),
-                self._on_timeout, out)
+            self._arm_retry(out)
             return
         out.attempts += 1
         if out.attempts > 1:
             self.stats.retransmissions += 1
         self.stats.sent += 1
         self.iface.send(self._frame_for(out.segment, out.size_bytes))
-        out.timer = self.engine.schedule(self._retry_delay_ms(out.attempts),
-                                         self._on_timeout, out)
+        self._arm_retry(out)
 
     def _on_timeout(self, out: _Outstanding) -> None:
         if out.segment.uid not in self._in_flight:
@@ -309,10 +378,11 @@ class Transport:
         out = self._in_flight.pop(uid, None)
         if out is None:
             return
-        if out.timer is not None:
-            out.timer.cancel()
         self._queue_depth.update(self.queue_depth)
         self._pump()
+        # The acked message's wheel entry is now stale; re-aiming prunes
+        # it when it is the head, so a drained transport stops waking up.
+        self._rearm_wheel()
 
     # ------------------------------------------------------------------
     # receiving
@@ -409,11 +479,9 @@ class Transport:
             # until the recorder successfully records the message"
             # (§4.4.1). The full timeout is used so the retry budget
             # spans realistic outages (a node reboot, a recorder
-            # restart) rather than burning out in seconds.
-            if out.timer is not None:
-                out.timer.cancel()
-            out.timer = self.engine.schedule(
-                self._retry_delay_ms(out.attempts), self._on_timeout, out)
+            # restart) rather than burning out in seconds. Re-arming
+            # bumps the stamp, so the superseded wheel entry goes stale.
+            self._arm_retry(out)
 
     # ------------------------------------------------------------------
     # crash / restart support
@@ -421,9 +489,10 @@ class Transport:
     def crash(self) -> None:
         """Drop all volatile transport state and detach from the medium."""
         self.iface.up = False
-        for out in self._in_flight.values():
-            if out.timer is not None:
-                out.timer.cancel()
+        self._timers.clear()
+        if self._wheel is not None:
+            self._wheel.cancel()
+            self._wheel = None
         self._in_flight.clear()
         self._outq.clear()
         self._dedup.clear()

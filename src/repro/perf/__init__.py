@@ -1,0 +1,33 @@
+"""The ``repro.perf`` benchmark harness.
+
+Deterministic workload definitions (:mod:`repro.perf.workloads`), the
+pre-optimization reference engine they diff against
+(:mod:`repro.perf.baseline`), and the report/compare machinery
+(:mod:`repro.perf.harness`) behind ``python -m repro perf``.
+"""
+
+from repro.perf.baseline import BaselineEngine, BaselineEventHandle
+from repro.perf.harness import (
+    DEFAULT_TOLERANCE,
+    SCHEMA_VERSION,
+    compare_reports,
+    format_report,
+    run_suite,
+    run_workload,
+    write_report,
+)
+from repro.perf.workloads import WORKLOADS, PerfDivergence
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineEventHandle",
+    "DEFAULT_TOLERANCE",
+    "SCHEMA_VERSION",
+    "WORKLOADS",
+    "PerfDivergence",
+    "compare_reports",
+    "format_report",
+    "run_suite",
+    "run_workload",
+    "write_report",
+]

@@ -1,0 +1,168 @@
+"""The benchmark harness: runs workloads, emits ``BENCH_publishing.json``.
+
+The report separates the deterministic facts (``ops``, ``events``,
+``sim_ms`` — identical for a given seed on every run and every machine)
+from the timing facts (``wall_ms``, ``ops_per_sec``, ``events_per_sec``
+— machine- and load-dependent). Regression comparison (``--compare``)
+works on ``ops_per_sec`` with a tolerance wide enough to ride out CI
+noise; determinism checking works on the deterministic facts exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.perf.workloads import WORKLOADS
+
+SCHEMA_VERSION = 1
+
+#: default allowed fractional throughput drop before --compare fails
+DEFAULT_TOLERANCE = 0.25
+
+
+def run_workload(name: str, seed: int, smoke: bool) -> Dict[str, Any]:
+    """Run one workload and normalise its result into report shape."""
+    fn = WORKLOADS[name]
+    start = time.perf_counter()
+    raw = fn(seed, smoke)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    # Workloads that time only their measured section report their own
+    # wall_ms (engine_churn excludes baseline-run and script-generation
+    # time); everything else is timed wall-to-wall here.
+    wall_ms = float(raw.pop("wall_ms", elapsed_ms))
+    ops = int(raw.pop("ops"))
+    events = int(raw.pop("events"))
+    sim_ms = float(raw.pop("sim_ms"))
+    wall_s = wall_ms / 1000.0
+    result: Dict[str, Any] = {
+        "name": name,
+        "ops": ops,
+        "events": events,
+        "sim_ms": sim_ms,
+        "wall_ms": round(wall_ms, 3),
+        "ops_per_sec": round(ops / wall_s, 2) if wall_s > 0 else 0.0,
+        "events_per_sec": round(events / wall_s, 2) if wall_s > 0 else 0.0,
+    }
+    phases = raw.pop("phases", None)
+    if phases:
+        result["phases"] = {
+            pname: {k: (round(v, 3) if isinstance(v, float) else v)
+                    for k, v in pdata.items()}
+            for pname, pdata in phases.items()
+        }
+    baseline = raw.pop("baseline", None)
+    if baseline:
+        result["baseline"] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in baseline.items()
+        }
+    speedup = raw.pop("speedup_vs_baseline", None)
+    if speedup is not None:
+        result["speedup_vs_baseline"] = round(speedup, 3)
+    # whatever workload-specific extras remain ride along verbatim
+    for key in sorted(raw):
+        value = raw[key]
+        result[key] = round(value, 3) if isinstance(value, float) else value
+    return result
+
+
+def run_suite(seed: int = 1983, smoke: bool = False,
+              only: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    """Run the selected workloads and assemble the full report."""
+    names = list(only) if only else list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(f"unknown workload(s): {', '.join(unknown)} "
+                       f"(known: {', '.join(WORKLOADS)})")
+    workloads = [run_workload(name, seed, smoke) for name in names]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "publishing",
+        "meta": {
+            "seed": seed,
+            "mode": "smoke" if smoke else "full",
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "workloads": workloads,
+    }
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Regression check: list of failures, empty when everything holds.
+
+    A workload regresses when its ``ops_per_sec`` fell more than
+    ``tolerance`` (fractional) below the baseline report's figure.
+    Workloads present only on one side are skipped — adding a workload
+    must not fail CI until its baseline is committed.
+    """
+    failures: List[str] = []
+    base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
+    for work in current.get("workloads", []):
+        base = base_by_name.get(work["name"])
+        if base is None:
+            continue
+        base_rate = base.get("ops_per_sec", 0.0)
+        if base_rate <= 0:
+            continue
+        floor = base_rate * (1.0 - tolerance)
+        rate = work.get("ops_per_sec", 0.0)
+        if rate < floor:
+            failures.append(
+                f"{work['name']}: {rate:.1f} ops/s is more than "
+                f"{tolerance:.0%} below baseline {base_rate:.1f} ops/s")
+    return failures
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """A terminal-friendly table of the report."""
+    meta = report["meta"]
+    lines = [f"repro perf — mode={meta['mode']} seed={meta['seed']} "
+             f"python={meta['python']}"]
+    header = (f"{'workload':<20} {'ops':>8} {'wall_ms':>10} "
+              f"{'ops/sec':>12} {'events/sec':>12} {'speedup':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for work in report["workloads"]:
+        speedup = work.get("speedup_vs_baseline")
+        lines.append(
+            f"{work['name']:<20} {work['ops']:>8} {work['wall_ms']:>10.1f} "
+            f"{work['ops_per_sec']:>12.1f} {work['events_per_sec']:>12.1f} "
+            f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(seed: int, smoke: bool, output: Optional[str],
+         only: Optional[List[str]] = None,
+         compare: Optional[str] = None,
+         tolerance: float = DEFAULT_TOLERANCE) -> int:
+    """CLI entry point shared by ``python -m repro perf``. Returns an
+    exit code: 0 on success, 1 on regression vs the compare baseline."""
+    report = run_suite(seed=seed, smoke=smoke, only=only)
+    print(format_report(report))
+    if output:
+        write_report(report, output)
+        print(f"wrote {output}")
+    if compare:
+        with open(compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = compare_reports(report, baseline, tolerance)
+        if failures:
+            print("performance regression detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {compare} (tolerance {tolerance:.0%})")
+    return 0

@@ -1,0 +1,345 @@
+"""The canonical benchmark workloads.
+
+Each workload is a function ``(seed, smoke) -> dict`` returning at least
+``ops`` (its primary operation count), ``events`` (engine events fired)
+and ``sim_ms`` (simulated time covered). Workloads that time themselves
+(because only part of their work is the thing being measured) also
+return ``wall_ms``; otherwise the harness times the whole call.
+
+Every workload is a pure function of its seed: wall-clock figures vary
+between runs, but ``ops``, ``events`` and ``sim_ms`` must not — the
+harness's ``--verify`` users and ``tests/test_perf_harness.py`` rely on
+it. Workloads validate their own outcomes (message counts, counter
+totals) and raise on divergence, so a perf number can never be produced
+by a broken simulation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.perf.baseline import BaselineEngine
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+#: churn script knobs: (pump steps, ops per step)
+_CHURN_FULL = (600, 100)
+_CHURN_SMOKE = (60, 100)
+
+#: storm knobs: (stations, guaranteed messages per station)
+_STORM_FULL = (5, 240)
+_STORM_SMOKE = (5, 30)
+
+_HASH_MOD = (1 << 61) - 1
+
+
+class PerfDivergence(RuntimeError):
+    """A workload's outcome did not match its expectation — the perf
+    number would be describing a broken run, so the harness fails."""
+
+
+# ----------------------------------------------------------------------
+# engine event churn, measured against the pre-PR baseline engine
+# ----------------------------------------------------------------------
+def _churn_script(seed: int, steps: int,
+                  per_step: int) -> List[List[Tuple[Any, ...]]]:
+    """A seeded schedule/cancel/chain operation script, generated up
+    front so both engines replay exactly the same work."""
+    rng = random.Random(seed)
+    script: List[List[Tuple[Any, ...]]] = []
+    for _ in range(steps):
+        ops: List[Tuple[Any, ...]] = []
+        for _ in range(per_step):
+            r = rng.random()
+            if r < 0.62:        # plain timer
+                ops.append(("s", rng.uniform(0.01, 60.0),
+                            rng.randrange(1 << 16)))
+            elif r < 0.87:      # cancel a previously scheduled timer
+                ops.append(("c", rng.randrange(1 << 30)))
+            else:               # self-rescheduling chain (decaying delay)
+                ops.append(("b", rng.uniform(0.5, 8.0),
+                            rng.randrange(1 << 16)))
+        script.append(ops)
+    return script
+
+
+def _run_churn(make_engine: Callable[[], Any],
+               script: List[List[Tuple[Any, ...]]]) -> Dict[str, Any]:
+    """Replay the churn script on one engine; returns timing plus an
+    order-sensitive event checksum for differential comparison."""
+    engine = make_engine()
+    fired = [0]
+    digest = [0]
+    handles: List[Any] = []
+
+    def work(tag):
+        fired[0] += 1
+        digest[0] = (digest[0] * 1000003 + tag) % _HASH_MOD
+
+    def chain(tag, delay):
+        fired[0] += 1
+        digest[0] = (digest[0] * 1000003 + tag) % _HASH_MOD
+        if delay > 0.4:
+            engine.schedule(delay, chain, tag ^ 0x5A5A, delay * 0.5)
+
+    def pump(k):
+        for op in script[k]:
+            kind = op[0]
+            if kind == "s":
+                handles.append(engine.schedule(op[1], work, op[2]))
+            elif kind == "c":
+                if handles:
+                    handles.pop(op[1] % len(handles)).cancel()
+            else:
+                engine.schedule(op[1], chain, op[2], op[1])
+        if len(handles) > 4096:
+            del handles[:2048]
+        if k + 1 < len(script):
+            engine.schedule(0.37, pump, k + 1)
+
+    start = time.perf_counter()
+    engine.schedule(0.0, pump, 0)
+    engine.run()
+    wall_s = time.perf_counter() - start
+    return {"wall_s": wall_s, "events": engine.events_fired,
+            "fired": fired[0], "digest": digest[0], "sim_ms": engine.now}
+
+
+def engine_churn(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Seeded schedule/cancel/spawn churn, run through both the live
+    engine and the pre-PR baseline engine. Doubles as a differential
+    check: both engines must fire the identical event stream."""
+    steps, per_step = _CHURN_SMOKE if smoke else _CHURN_FULL
+    script = _churn_script(seed, steps, per_step)
+    live = _run_churn(Engine, script)
+    base = _run_churn(BaselineEngine, script)
+    for key in ("events", "fired", "digest", "sim_ms"):
+        if live[key] != base[key]:
+            raise PerfDivergence(
+                f"engine_churn: optimized and baseline engines diverged "
+                f"on {key}: {live[key]!r} != {base[key]!r}")
+    live_rate = live["events"] / live["wall_s"] if live["wall_s"] else 0.0
+    base_rate = base["events"] / base["wall_s"] if base["wall_s"] else 0.0
+    return {
+        "ops": steps * per_step,
+        "events": live["events"],
+        "sim_ms": round(live["sim_ms"], 6),
+        "wall_ms": live["wall_s"] * 1000.0,
+        "baseline": {
+            "wall_ms": base["wall_s"] * 1000.0,
+            "events_per_sec": base_rate,
+        },
+        "speedup_vs_baseline": (live_rate / base_rate if base_rate else 0.0),
+        "event_digest": live["digest"],
+    }
+
+
+# ----------------------------------------------------------------------
+# media message storms
+# ----------------------------------------------------------------------
+def _storm(medium_name: str, seed: int, smoke: bool) -> Dict[str, Any]:
+    """N stations exchange guaranteed messages over one medium model
+    until every message is acknowledged and the event heap drains."""
+    from repro.net.transport import Transport, TransportConfig
+
+    stations, msgs = _STORM_SMOKE if smoke else _STORM_FULL
+    engine = Engine()
+    rng = RngStreams(seed)
+    if medium_name == "csma":
+        from repro.net.ethernet import CsmaEthernet
+        medium = CsmaEthernet(engine, rng)
+    elif medium_name == "acking":
+        from repro.net.acking_ethernet import AckingEthernet
+        medium = AckingEthernet(engine, rng)
+    elif medium_name == "token_ring":
+        from repro.net.token_ring import TokenRing
+        medium = TokenRing(engine)
+    else:
+        raise ValueError(f"unknown storm medium {medium_name!r}")
+
+    received = [0]
+
+    def on_receive(_segment):
+        received[0] += 1
+
+    config = TransportConfig()
+    transports = [Transport(engine, medium, node, on_receive, config,
+                            rng=rng)
+                  for node in range(1, stations + 1)]
+    spacing = rng.stream("perf/storm")
+    for index, transport in enumerate(transports):
+        dst = (index + 1) % stations + 1
+        at = 0.0
+        for k in range(msgs):
+            at += spacing.uniform(0.05, 2.0)
+            engine.schedule(at, transport.send, dst, ("m", index, k),
+                            128, (index + 1, k))
+    engine.run()
+    expected = stations * msgs
+    if received[0] != expected:
+        raise PerfDivergence(
+            f"storm_{medium_name}: delivered {received[0]} of "
+            f"{expected} guaranteed messages")
+    stats = {
+        "retransmissions": sum(t.stats.retransmissions for t in transports),
+        "collisions": medium.stats.collisions,
+        "utilization": round(medium.stats.utilization(engine.now), 4),
+    }
+    return {"ops": expected, "events": engine.events_fired,
+            "sim_ms": round(engine.now, 6), **stats}
+
+
+def storm_csma(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Message storm over the contending CSMA/CD Ethernet (§6.1.1)."""
+    return _storm("csma", seed, smoke)
+
+
+def storm_acking(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Message storm over the Acknowledging Ethernet's reserved slots."""
+    return _storm("acking", seed, smoke)
+
+
+def storm_token_ring(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Message storm over the single-slot token ring (§6.1.2)."""
+    return _storm("token_ring", seed, smoke)
+
+
+# ----------------------------------------------------------------------
+# recorder publish + checkpoint + replay-recovery pipeline
+# ----------------------------------------------------------------------
+def recorder_pipeline(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Drive the full publishing path: a counter/driver workload whose
+    every message is recorded, then cluster-wide checkpoints, then a
+    node crash recovered by replaying the recorded stream."""
+    from repro.chaos.workload import (
+        CHAOS_COUNTER_IMAGE,
+        CHAOS_DRIVER_IMAGE,
+        expected_total,
+        register_chaos_programs,
+    )
+    from repro.system import System, SystemConfig
+
+    pairs = 2 if smoke else 3
+    messages = 12 if smoke else 60
+    system = System(SystemConfig(nodes=3, master_seed=seed,
+                                 medium="broadcast"))
+    register_chaos_programs(system)
+    system.boot()
+    spawned = []
+    for k in range(pairs):
+        counter = system.spawn_program(CHAOS_COUNTER_IMAGE, node=2 + k % 2)
+        driver = system.spawn_program(
+            CHAOS_DRIVER_IMAGE, args=(tuple(counter), messages), node=1)
+        spawned.append((driver, counter))
+
+    def drivers_at(count: int) -> bool:
+        return all(len(system.program_of(d).replies) >= count
+                   for d, _ in spawned)
+
+    phases: Dict[str, Dict[str, Any]] = {}
+
+    def timed_phase(name: str, body: Callable[[], None]) -> None:
+        before_events = system.engine.events_fired
+        before_ms = system.engine.now
+        start = time.perf_counter()
+        body()
+        phases[name] = {
+            "wall_ms": (time.perf_counter() - start) * 1000.0,
+            "events": system.engine.events_fired - before_events,
+            "sim_ms": round(system.engine.now - before_ms, 6),
+        }
+
+    def publish_until(count: int) -> None:
+        deadline = system.engine.now + 120_000.0
+        while not drivers_at(count) and system.engine.now < deadline:
+            system.run(250)
+        if not drivers_at(count):
+            raise PerfDivergence("recorder_pipeline: workload stalled")
+
+    def recovery_phase() -> None:
+        # Crash a counter node and let the watchdog notice, the reboot
+        # policy restart it, and the recovery manager replay its
+        # processes from checkpoint + recorded stream (§3.3, §4.7).
+        system.crash_node(2)
+        deadline = system.engine.now + 120_000.0
+        want = expected_total(messages)
+        while system.engine.now < deadline:
+            system.run(500)
+            programs = [system.program_of(c) for _, c in spawned]
+            if all(p is not None and p.total == want for p in programs):
+                return
+        totals = [p.total if p is not None else -1 for p in programs]
+        raise PerfDivergence(
+            f"recorder_pipeline: counters ended at {totals}, "
+            f"never recovered to {want}")
+
+    # Checkpoint mid-stream so the post-crash recovery genuinely mixes
+    # checkpoint restoration with replay of the messages consumed after
+    # it — the §3.1 recovery recipe, not a checkpoint-only restore.
+    timed_phase("publish", lambda: publish_until(messages // 2))
+
+    checkpoints = {}
+
+    def checkpoint_body() -> None:
+        checkpoints["count"] = system.checkpoint_all()
+        system.run(1_000)
+
+    timed_phase("checkpoint", checkpoint_body)
+    timed_phase("publish_tail", lambda: publish_until(messages))
+    timed_phase("replay_recovery", recovery_phase)
+    phases["checkpoint"]["checkpoints"] = checkpoints["count"]
+
+    recorder = system.recorder
+    return {
+        "ops": pairs * messages,
+        "events": system.engine.events_fired,
+        "sim_ms": round(system.engine.now, 6),
+        "wall_ms": sum(p["wall_ms"] for p in phases.values()),
+        "phases": phases,
+        "messages_recorded": recorder.messages_recorded,
+        "recoveries": system.recovery.stats.recoveries_completed,
+        "messages_replayed": system.recovery.stats.messages_replayed,
+    }
+
+
+# ----------------------------------------------------------------------
+# chaos campaign
+# ----------------------------------------------------------------------
+def chaos_campaign(seed: int, smoke: bool) -> Dict[str, Any]:
+    """A seeded monkey campaign against the counter workload — the
+    heaviest integration path: faults, retries, replays, watchdogs."""
+    from repro.chaos import monkey_campaign, run_scenario
+
+    messages = 10 if smoke else 30
+    horizon = 4_000.0 if smoke else 10_000.0
+    campaign = monkey_campaign(RngStreams(seed), [1, 2, 3],
+                               duration_ms=horizon)
+    # A short horizon can cut the campaign right after a late fault;
+    # give recoveries room to settle before the invariants are judged.
+    result = run_scenario(campaign, nodes=3, pairs=2, messages=messages,
+                          master_seed=seed, medium="broadcast",
+                          settle_ms=8_000.0)
+    if not result.ok:
+        raise PerfDivergence("chaos_campaign: campaign invariants failed:\n"
+                             + result.report.format())
+    system = result.system
+    return {
+        "ops": 2 * messages,
+        "events": system.engine.events_fired,
+        "sim_ms": round(system.engine.now, 6),
+        "actions": len(campaign.actions),
+        "recoveries": system.recovery.stats.recoveries_completed,
+    }
+
+
+#: name -> workload function, in canonical report order
+WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
+    "engine_churn": engine_churn,
+    "storm_csma": storm_csma,
+    "storm_acking": storm_acking,
+    "storm_token_ring": storm_token_ring,
+    "recorder_pipeline": recorder_pipeline,
+    "chaos_campaign": chaos_campaign,
+}

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.demos.ids import MessageId, ProcessId
 from repro.demos.links import Link
@@ -84,7 +84,6 @@ class ProcessRecord:
     #: messages overheard and durably stored but whose delivery to the
     #: destination node has not yet been observed (§4.4.1 ack tracing)
     staged: Dict[MessageId, Message] = field(default_factory=dict)
-    staged_ids: Set[MessageId] = field(default_factory=set)
     #: delivery confirmations of this process's *sends*: the contiguous
     #: confirmed prefix is the safe send-suppression horizon — anything
     #: beyond it may never have reached its receiver and must be re-sent
@@ -97,6 +96,32 @@ class ProcessRecord:
     recovering: bool = False
     recovery_epoch: int = 0    # bumped to cancel a superseded recovery (§3.5)
     destroyed: bool = False
+
+    # -- incremental queue re-simulation (see consumed_ids) ------------
+    # Arrivals are append-only and checkpoint consumed-counts are
+    # cumulative, so the queue simulation never needs to restart: these
+    # carry it between calls. `_sim_queue` holds the not-yet-consumed
+    # queue messages, `_sim_fed` how many arrivals have been fed in,
+    # `_sim_adv_cursor` the next advisory, and `_sim_consumed` the
+    # consumption sequence established so far (its prefixes answer any
+    # earlier consumed-count). The `_ckpt_*` cursors remember how far
+    # checkpoints have invalidated, `_valid_cursor` skips the invalid
+    # prefix for the §4.5 "first valid message" scans.
+    _sim_queue: Deque[LoggedMessage] = field(
+        default_factory=deque, init=False, repr=False, compare=False)
+    _sim_fed: int = field(default=0, init=False, repr=False, compare=False)
+    _sim_adv_cursor: int = field(default=0, init=False, repr=False,
+                                 compare=False)
+    _sim_consumed: List[LoggedMessage] = field(
+        default_factory=list, init=False, repr=False, compare=False)
+    _controls: List[LoggedMessage] = field(
+        default_factory=list, init=False, repr=False, compare=False)
+    _ckpt_consumed_done: int = field(default=0, init=False, repr=False,
+                                     compare=False)
+    _ckpt_ctrl_done: int = field(default=0, init=False, repr=False,
+                                 compare=False)
+    _valid_cursor: int = field(default=0, init=False, repr=False,
+                               compare=False)
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, arrival_index: int) -> bool:
@@ -115,9 +140,8 @@ class ProcessRecord:
     def stage_message(self, message: Message) -> bool:
         """Durably store an overheard message ahead of its delivery
         confirmation; returns False for duplicates."""
-        if message.msg_id in self.staged_ids or message.msg_id in self.recorded_ids:
+        if message.msg_id in self.staged or message.msg_id in self.recorded_ids:
             return False
-        self.staged_ids.add(message.msg_id)
         self.staged[message.msg_id] = message
         return True
 
@@ -140,68 +164,124 @@ class ProcessRecord:
         self.advisories.append((read_id, head_id))
 
     # ------------------------------------------------------------------
-    def consumed_ids(self, consumed_count: int) -> Set[MessageId]:
-        """Re-simulate the process's queue to find which of the recorded
-        messages were the first ``consumed_count`` consumptions."""
-        queue = deque(lm.message.msg_id for lm in self.arrivals
-                      if not lm.is_control and not lm.is_marker)
-        advisories = deque(self.advisories)
-        consumed: Set[MessageId] = set()
-        while len(consumed) < consumed_count and queue:
-            if advisories and advisories[0][1] == queue[0]:
-                read_id, _head = advisories.popleft()
-                try:
-                    queue.remove(read_id)
-                except ValueError:
+    def _advance_simulation(self, target: int) -> None:
+        """Push the queue re-simulation until ``target`` consumptions are
+        known (or the queue runs dry). A mismatched advisory raises
+        without advancing its cursor, so the error repeats on retry —
+        and resolves if the missing message arrives later."""
+        arrivals = self.arrivals
+        queue = self._sim_queue
+        controls = self._controls
+        fed = self._sim_fed
+        n = len(arrivals)
+        while fed < n:
+            lm = arrivals[fed]
+            fed += 1
+            if lm.is_control:
+                controls.append(lm)
+            elif not lm.is_marker:
+                queue.append(lm)
+        self._sim_fed = fed
+        consumed = self._sim_consumed
+        advisories = self.advisories
+        cursor = self._sim_adv_cursor
+        while len(consumed) < target and queue:
+            if (cursor < len(advisories)
+                    and advisories[cursor][1] == queue[0].message.msg_id):
+                read_id = advisories[cursor][0]
+                for index, lm in enumerate(queue):
+                    if lm.message.msg_id == read_id:
+                        del queue[index]
+                        break
+                else:
                     raise RecorderError(
                         f"advisory for {read_id} does not match the log of {self.pid}")
-                consumed.add(read_id)
+                cursor += 1
+                self._sim_adv_cursor = cursor
+                consumed.append(lm)
             else:
-                consumed.add(queue.popleft())
-        return consumed
+                consumed.append(queue.popleft())
+
+    def consumed_ids(self, consumed_count: int) -> Set[MessageId]:
+        """Re-simulate the process's queue to find which of the recorded
+        messages were the first ``consumed_count`` consumptions.
+
+        The simulation runs incrementally: the consumption order already
+        established never changes (arrivals only append, advisory counts
+        only grow), so each call extends the previous one instead of
+        replaying from process creation.
+        """
+        self._advance_simulation(consumed_count)
+        return {lm.message.msg_id
+                for lm in self._sim_consumed[:consumed_count]}
 
     def apply_checkpoint(self, entry: CheckpointEntry) -> int:
         """Install a new checkpoint and invalidate the messages its state
         already reflects. Returns how many messages were invalidated —
         "after the checkpoint has been reliably stored, older checkpoints
-        and messages can be discarded" (§3.3.1)."""
+        and messages can be discarded" (§3.3.1).
+
+        Checkpoint consumed/control counts are cumulative, so each pass
+        only walks the newly covered consumptions, not the whole log.
+        """
         self.checkpoint = entry
-        consumed = self.consumed_ids(entry.consumed)
+        self._advance_simulation(entry.consumed)
         invalidated = 0
-        controls_seen = 0
-        for lm in self.arrivals:
-            if lm.invalid:
-                if lm.is_control:
-                    controls_seen += 1
-                continue
-            if lm.is_control:
-                controls_seen += 1
-                if controls_seen <= entry.dtk_processed:
-                    lm.invalid = True
-                    invalidated += 1
-            elif lm.message.msg_id in consumed:
+        start = self._ckpt_consumed_done
+        for lm in self._sim_consumed[start:entry.consumed]:
+            if not lm.invalid:
                 lm.invalid = True
                 invalidated += 1
+        self._ckpt_consumed_done = max(start, entry.consumed)
+        start = self._ckpt_ctrl_done
+        for lm in self._controls[start:entry.dtk_processed]:
+            if not lm.invalid:
+                lm.invalid = True
+                invalidated += 1
+        self._ckpt_ctrl_done = max(start, entry.dtk_processed)
         # Advisories are kept: checkpoint consumed-counts are cumulative,
-        # so later invalidation passes re-simulate from process creation.
+        # so later invalidation passes continue the same simulation.
         return invalidated
 
     # ------------------------------------------------------------------
+    def _skip_invalid_prefix(self) -> int:
+        """Index of the first non-invalid arrival. Checkpoints invalidate
+        (mostly) prefixes and validity only ever goes valid→invalid, so
+        the cursor advances monotonically and never rescans the front."""
+        arrivals = self.arrivals
+        i = self._valid_cursor
+        n = len(arrivals)
+        while i < n and arrivals[i].invalid:
+            i += 1
+        self._valid_cursor = i
+        return i
+
     def replay_stream(self) -> List[LoggedMessage]:
         """The valid messages to replay, in arrival order.
 
         Markers are included so the recovery process can find its own
         hand-back marker; it skips any others.
         """
-        return [lm for lm in self.arrivals if not lm.invalid]
+        arrivals = self.arrivals
+        start = self._skip_invalid_prefix()
+        return [lm for lm in arrivals[start:] if not lm.invalid]
 
     def valid_message_bytes(self) -> int:
         """Stored bytes still needed for recovery (storage accounting)."""
-        return sum(lm.message.size_bytes for lm in self.arrivals if not lm.invalid)
+        arrivals = self.arrivals
+        start = self._skip_invalid_prefix()
+        total = 0
+        for index in range(start, len(arrivals)):
+            lm = arrivals[index]
+            if not lm.invalid:
+                total += lm.message.size_bytes
+        return total
 
     def first_valid_id(self) -> Optional[MessageId]:
         """'The id of the first valid message' (§4.5)."""
-        for lm in self.arrivals:
+        arrivals = self.arrivals
+        for index in range(self._skip_invalid_prefix(), len(arrivals)):
+            lm = arrivals[index]
             if not lm.invalid and not lm.is_marker:
                 return lm.message.msg_id
         return None

@@ -107,6 +107,11 @@ class Recorder:
         self._arrival_signals: Dict[ProcessId, Signal] = {}
         self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
         self._marker_seq = itertools.count(1)
+        # Resolved once: the per-message CPU charge is fixed by the
+        # configured software path, and record_message is the hottest
+        # recorder entry point (every guaranteed frame on the medium).
+        self._publish_cost_ms = self.config.costs.publish_cpu_ms(
+            self.config.publish_path)
         self.transport = Transport(engine, medium, self.config.node_id,
                                    self._on_segment, self.config.transport,
                                    is_recorder=True, tap=self.observe_frame,
@@ -168,8 +173,7 @@ class Recorder:
         """Stage one overheard message: database entry, CPU cost, disk
         bytes. The message joins the replay log when its delivery is
         observed (:meth:`observe_delivery`), in reception order."""
-        self._cpu_busy_ms.inc(
-            self.config.costs.publish_cpu_ms(self.config.publish_path))
+        self._cpu_busy_ms.inc(self._publish_cost_ms)
         sender = self.db.get(message.src)
         if sender is not None:
             sender.note_sent(message.msg_id.seq)

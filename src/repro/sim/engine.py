@@ -15,11 +15,25 @@ Determinism: the event heap breaks timestamp ties by insertion sequence,
 so two runs that schedule the same events in the same order are
 bit-identical. Components must draw randomness only from
 :class:`repro.sim.rng.RngStreams`.
+
+Hot-path layout (the ``repro.perf`` engine-churn workload drives this,
+and ``tests/test_engine_equivalence.py`` pins the firing order against a
+naive reference implementation):
+
+* heap entries are ``(time, seq, handle)`` tuples, so ``heapq`` sifting
+  compares floats/ints in C instead of calling ``EventHandle.__lt__``;
+* fired and cancelled handles are recycled through a bounded free list
+  when the engine can prove (via the CPython reference count) that no
+  caller still holds them, so steady-state churn allocates no handles;
+* cancelled events are removed lazily, but when more than half of the
+  heap is dead the engine compacts it in place, bounding both memory
+  and the pop-side cleanup work.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -30,22 +44,45 @@ from repro.errors import SimulationError
 #: schedule into the past and still raises.
 NEGATIVE_DELAY_EPSILON_MS = 1e-9
 
+#: Free-list bound: enough to absorb any realistic in-flight burst
+#: without letting a pathological run hoard handles forever.
+_FREELIST_MAX = 1024
+
+#: Compact the heap only past this many dead entries (tiny heaps are
+#: cheaper to drain lazily than to rebuild).
+_COMPACT_MIN_CANCELLED = 64
+
+# CPython only; other implementations simply never recycle handles.
+_getrefcount = getattr(sys, "getrefcount", None)
+
 
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A cancellable reference to a scheduled event.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    Handles are recycled through the engine's free list once the engine
+    proves no outside reference remains, so identity comparisons between
+    a fired handle and a later one are meaningless — hold the handle if
+    you intend to cancel it, and it will never be reused under you.
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple, engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            engine = self._engine
+            if engine is not None:
+                engine._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -82,7 +119,12 @@ class Engine:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: List[EventHandle] = []
+        #: heap of ``(time, seq, handle)`` — the tuple prefix keeps all
+        #: sift comparisons in C; seq is unique so the handle never
+        #: participates in a comparison
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._free: List[EventHandle] = []
+        self._cancelled = 0       # dead entries still sitting in the heap
         self._running = False
         self._events_fired = 0
 
@@ -110,9 +152,21 @@ class Engine:
             else:
                 raise SimulationError(
                     f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        handle = EventHandle(self._now + delay, self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        seq = self._seq + 1
+        self._seq = seq
+        time = self._now + delay
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+            handle._engine = self
+        else:
+            handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -126,6 +180,35 @@ class Engine:
     def signal(self, name: str = "") -> Signal:
         """Create a :class:`Signal` bound to this engine."""
         return Signal(self, name)
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """One more heap entry went dead; compact when the heap is
+        mostly corpses. The compaction mutates the list in place so
+        loops holding a reference to it keep seeing live state."""
+        count = self._cancelled + 1
+        self._cancelled = count
+        heap = self._heap
+        if count > _COMPACT_MIN_CANCELLED and count * 2 > len(heap):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapify(heap)
+            self._cancelled = 0
+
+    def _recycle(self, handle: EventHandle) -> None:
+        """A handle just left the heap. Recycle it if nobody else can
+        still see it (three refs: caller's local, our parameter, and
+        getrefcount's argument); otherwise detach it from the engine so
+        a late ``cancel()`` from whoever holds it cannot skew the
+        dead-entry accounting."""
+        if (_getrefcount is not None and len(self._free) < _FREELIST_MAX
+                and _getrefcount(handle) == 3):
+            handle.fn = None
+            handle.args = ()
+            self._free.append(handle)
+        else:
+            handle._engine = None
 
     # ------------------------------------------------------------------
     # coroutine activities
@@ -168,18 +251,41 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        heap = self._heap       # compaction mutates in place; alias is safe
+        free = self._free
+        getrefcount = _getrefcount
         fired = 0
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                handle = heap[0][2]
+                if handle.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    if (getrefcount is not None and len(free) < _FREELIST_MAX
+                            and getrefcount(handle) == 2):
+                        handle.fn = None
+                        handle.args = ()
+                        free.append(handle)
                     continue
-                if until is not None and head.time > until:
+                time = handle.time
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
-                head.fn(*head.args)
+                heappop(heap)
+                self._now = time
+                fn = handle.fn
+                args = handle.args
+                # Recycle before dispatch: the callback's own schedules
+                # can then reuse the handle. Anyone still holding it
+                # (refcount > 2) keeps it out of the free list, and is
+                # detached instead so a late cancel() stays inert.
+                if (getrefcount is not None and len(free) < _FREELIST_MAX
+                        and getrefcount(handle) == 2):
+                    handle.fn = None
+                    handle.args = ()
+                    free.append(handle)
+                else:
+                    handle._engine = None
+                fn(*args)
                 self._events_fired += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
@@ -192,19 +298,26 @@ class Engine:
 
     def step(self) -> bool:
         """Dispatch a single event. Returns False if none are pending."""
-        while self._heap:
-            head = heapq.heappop(self._heap)
-            if head.cancelled:
+        heap = self._heap
+        while heap:
+            _time, _seq, handle = heappop(heap)
+            if handle.cancelled:
+                self._cancelled -= 1
+                self._recycle(handle)
                 continue
-            self._now = head.time
-            head.fn(*head.args)
+            self._now = handle.time
+            fn = handle.fn
+            args = handle.args
+            self._recycle(handle)
+            fn(*args)
             self._events_fired += 1
             return True
         return False
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled events in the heap (O(1): the
+        engine tracks how many heap entries are dead)."""
+        return len(self._heap) - self._cancelled
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the heap is empty.
@@ -213,9 +326,11 @@ class Engine:
         amortised instead of sorting the whole heap on every call.
         """
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and heap[0][2].cancelled:
+            _time, _seq, handle = heappop(heap)
+            self._cancelled -= 1
+            self._recycle(handle)
+        return heap[0][0] if heap else None
 
 
 def run_simulation(setup: Callable[[Engine], Any], until: float) -> Tuple[Engine, Any]:

@@ -232,9 +232,11 @@ def test_per_destination_pump_is_linear_in_queue_depth():
             start = time.perf_counter()
             t._pump()
             best = min(best, time.perf_counter() - start)
-            for out in list(t._in_flight.values()):
-                if out.timer is not None:
-                    out.timer.cancel()
+            t._in_flight.clear()
+            t._timers.clear()
+            if t._wheel is not None:
+                t._wheel.cancel()
+                t._wheel = None
         return best
 
     small, large = pump_seconds(500), pump_seconds(2000)

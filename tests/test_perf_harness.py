@@ -1,0 +1,160 @@
+"""The perf harness itself is under test: report schema, determinism
+of the simulated figures, smoke-mode bounds, and regression comparison.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import (
+    WORKLOADS,
+    compare_reports,
+    format_report,
+    run_suite,
+    run_workload,
+    write_report,
+)
+
+#: the cheap workloads used where the test only needs *some* report
+FAST = ["engine_churn", "storm_token_ring"]
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One full smoke-mode suite, shared by the schema checks."""
+    return run_suite(seed=1983, smoke=True)
+
+
+def test_report_schema(smoke_report):
+    assert smoke_report["schema_version"] == 1
+    assert smoke_report["benchmark"] == "publishing"
+    meta = smoke_report["meta"]
+    assert meta["seed"] == 1983
+    assert meta["mode"] == "smoke"
+    assert isinstance(meta["python"], str)
+    workloads = smoke_report["workloads"]
+    # the acceptance floor: engine churn, three media storms, the
+    # recorder pipeline and the chaos campaign
+    assert [w["name"] for w in workloads] == list(WORKLOADS)
+    assert len(workloads) >= 4
+    for work in workloads:
+        assert work["ops"] > 0
+        assert work["events"] > 0
+        assert work["sim_ms"] > 0
+        assert work["wall_ms"] > 0
+        assert work["ops_per_sec"] > 0
+        assert work["events_per_sec"] > 0
+
+
+def test_report_is_json_serializable_and_round_trips(smoke_report, tmp_path):
+    path = tmp_path / "BENCH_publishing.json"
+    write_report(smoke_report, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(smoke_report))
+
+
+def test_engine_churn_reports_baseline_comparison(smoke_report):
+    churn = next(w for w in smoke_report["workloads"]
+                 if w["name"] == "engine_churn")
+    assert churn["baseline"]["wall_ms"] > 0
+    assert churn["speedup_vs_baseline"] > 0
+    # the differential harness inside the workload vouched for this
+    assert churn["event_digest"] > 0
+
+
+def test_recorder_pipeline_phases_cover_the_recovery_recipe(smoke_report):
+    pipeline = next(w for w in smoke_report["workloads"]
+                    if w["name"] == "recorder_pipeline")
+    phases = pipeline["phases"]
+    assert {"publish", "checkpoint", "publish_tail",
+            "replay_recovery"} <= set(phases)
+    assert phases["checkpoint"]["checkpoints"] > 0
+    assert pipeline["messages_recorded"] > 0
+    assert pipeline["recoveries"] > 0
+    # the mid-stream checkpoint forces genuine replay, not just restore
+    assert pipeline["messages_replayed"] > 0
+
+
+def test_deterministic_figures_identical_across_runs():
+    """Everything except wall-clock timing must be bit-identical when
+    the same seed runs twice."""
+
+    def deterministic_view(report):
+        out = []
+        for work in report["workloads"]:
+            out.append({k: v for k, v in work.items()
+                        if k not in ("wall_ms", "ops_per_sec",
+                                     "events_per_sec", "baseline",
+                                     "speedup_vs_baseline", "phases")})
+        return out
+
+    first = run_suite(seed=1983, smoke=True, only=FAST)
+    second = run_suite(seed=1983, smoke=True, only=FAST)
+    assert deterministic_view(first) == deterministic_view(second)
+
+
+def test_different_seed_changes_the_workload():
+    first = run_workload("engine_churn", seed=1, smoke=True)
+    second = run_workload("engine_churn", seed=2, smoke=True)
+    assert first["event_digest"] != second["event_digest"]
+
+
+def test_smoke_mode_stays_under_simulated_ceiling(smoke_report):
+    """Smoke mode exists for CI: every workload must cover a bounded
+    stretch of simulated time (the wall-clock follows from it)."""
+    for work in smoke_report["workloads"]:
+        assert work["sim_ms"] <= 60_000, (
+            f"{work['name']} simulated {work['sim_ms']}ms in smoke mode")
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        run_suite(smoke=True, only=["no_such_workload"])
+
+
+def test_compare_reports_flags_only_real_regressions(smoke_report):
+    baseline = copy.deepcopy(smoke_report)
+    current = copy.deepcopy(smoke_report)
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+    # a 50% throughput drop on one workload: flagged
+    current["workloads"][0]["ops_per_sec"] /= 2.0
+    failures = compare_reports(current, baseline, tolerance=0.25)
+    assert len(failures) == 1
+    assert current["workloads"][0]["name"] in failures[0]
+    # within tolerance: not flagged
+    current["workloads"][0]["ops_per_sec"] = (
+        baseline["workloads"][0]["ops_per_sec"] * 0.80)
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+    # a workload missing from the baseline is skipped, not failed
+    extra = dict(baseline["workloads"][0], name="brand_new")
+    current["workloads"].append(extra)
+    current["workloads"][0]["ops_per_sec"] = (
+        baseline["workloads"][0]["ops_per_sec"])
+    assert compare_reports(current, baseline) == []
+
+
+def test_format_report_lists_every_workload(smoke_report):
+    text = format_report(smoke_report)
+    for work in smoke_report["workloads"]:
+        assert work["name"] in text
+
+
+def test_cli_writes_report_and_gates_regressions(tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "BENCH_publishing.json"
+    base = tmp_path / "baseline.json"
+    argv = ["perf", "--smoke", "--seed", "7",
+            "--workload", "engine_churn", "--workload", "storm_token_ring"]
+    assert main(argv + ["--output", str(base)]) == 0
+    assert main(argv + ["--output", str(out),
+                        "--compare", str(base)]) == 0
+    report = json.loads(out.read_text())
+    assert [w["name"] for w in report["workloads"]] == FAST
+    # poison the baseline so the current run looks like a regression
+    poisoned = json.loads(base.read_text())
+    for work in poisoned["workloads"]:
+        work["ops_per_sec"] *= 100.0
+    base.write_text(json.dumps(poisoned))
+    assert main(argv + ["--output", "", "--compare", str(base)]) == 1
