@@ -19,7 +19,15 @@ Commands:
   seed-determined monkey) against a live workload and print the
   campaign report (see ``docs/CHAOS.md``);
 * ``perf``        — run the deterministic benchmark workloads and write
-  ``BENCH_publishing.json`` (see ``docs/PERFORMANCE.md``).
+  ``BENCH_publishing.json`` (see ``docs/PERFORMANCE.md``);
+* ``sweep``       — shard an evaluation sweep (chaos seed matrix,
+  capacity / utilization / figure57 grids, perf suite) over worker
+  processes and merge the results deterministically
+  (``--check`` proves parallel == serial digest-for-digest).
+
+``capacity``, ``utilization``, ``chaos`` (with ``--runs K``) and
+``perf`` accept ``--parallel N`` to shard their work over N worker
+processes; results are identical to serial execution by construction.
 """
 
 from __future__ import annotations
@@ -97,32 +105,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
-    from repro.queueing import OPERATING_POINTS, capacity_in_users
-    from repro.queueing.capacity import bottleneck
+    from repro.parallel import capacity_tasks, run_tasks
 
+    # The same shard path serial and parallel: --parallel N only changes
+    # how many worker processes probe the operating points.
+    shards = run_tasks(capacity_tasks(), max_workers=args.parallel or 1)
     print(f"{'operating point':<18} {'max users':>9} {'nodes':>6} "
           f"{'bottleneck':>10}")
-    for name, point in sorted(OPERATING_POINTS.items()):
-        users = capacity_in_users(point)
-        print(f"{name:<18} {users:>9} {users / point.users_per_node:>6.2f} "
-              f"{bottleneck(point, users):>10}")
+    for shard in shards:
+        p = shard["payload"]
+        print(f"{p['point']:<18} {p['users']:>9} {p['nodes']:>6.2f} "
+              f"{p['bottleneck']:>10}")
     return 0
 
 
 def _cmd_utilization(args: argparse.Namespace) -> int:
-    from repro.queueing import OPERATING_POINTS, OpenQueueingModel
+    from repro.parallel import run_tasks, utilization_tasks
+    from repro.queueing import OPERATING_POINTS
 
     point = OPERATING_POINTS[args.point]
+    shards = run_tasks(utilization_tasks(point=args.point),
+                       max_workers=args.parallel or 1)
     print(f"operating point: {args.point} "
           f"({point.users_per_node} users/node)")
     print(f"{'disks':>5} {'nodes':>5} {'network':>8} {'cpu':>8} {'disk':>8}")
-    for disks in (1, 2, 3):
-        for nodes in (1, 2, 3, 4, 5):
-            model = OpenQueueingModel(point=point, nodes=nodes, disks=disks)
-            u = model.utilizations()
-            flag = "  SATURATED" if not model.stable() else ""
-            print(f"{disks:>5} {nodes:>5} {100 * u['network']:>7.1f}% "
-                  f"{100 * u['cpu']:>7.1f}% {100 * u['disk']:>7.1f}%{flag}")
+    for shard in shards:
+        p = shard["payload"]
+        u = p["utilizations"]
+        flag = "  SATURATED" if not p["stable"] else ""
+        print(f"{p['disks']:>5} {p['nodes']:>5} {100 * u['network']:>7.1f}% "
+              f"{100 * u['cpu']:>7.1f}% {100 * u['disk']:>7.1f}%{flag}")
     return 0
 
 
@@ -218,6 +230,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import load_campaign, monkey_campaign, run_scenario
     from repro.sim.rng import RngStreams
 
+    if args.runs > 1:
+        # Seed-matrix mode: shard --runs derived-seed scenarios over
+        # --parallel workers (see docs/PERFORMANCE.md).
+        return _chaos_matrix(args)
+
     def build_campaign():
         if args.file:
             return load_campaign(args.file)
@@ -257,12 +274,104 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _chaos_matrix(args: argparse.Namespace) -> int:
+    """``chaos --runs K [--parallel N]``: a sharded seed matrix."""
+    from repro.parallel import chaos_matrix_tasks, run_tasks, sweep_digest
+
+    tasks = chaos_matrix_tasks(
+        root_seed=args.seed, runs=args.runs, nodes=args.nodes,
+        pairs=args.pairs, messages=args.messages, medium=args.medium,
+        duration_ms=args.duration,
+        campaign=args.file if args.file else None)
+    shards = run_tasks(tasks, max_workers=args.parallel)
+    if args.verify_determinism:
+        replay = run_tasks(tasks, max_workers=1)
+        identical = sweep_digest(shards) == sweep_digest(replay)
+    else:
+        identical = None
+    ok = (all(s["payload"]["ok"] for s in shards)
+          and identical is not False)
+    if args.json:
+        payload = {
+            "runs": len(shards),
+            "digest": sweep_digest(shards),
+            "ok": ok,
+            "shards": shards,
+        }
+        if identical is not None:
+            payload["replay_identical"] = identical
+        _write_or_print(json.dumps(payload, indent=2, sort_keys=True),
+                        args.output)
+    else:
+        lines = [f"chaos seed matrix — {'PASS' if ok else 'FAIL'} "
+                 f"({len(shards)} scenarios, "
+                 f"digest {sweep_digest(shards)[:16]})"]
+        for shard in shards:
+            p = shard["payload"]
+            report = p["report"]
+            lines.append(
+                f"  [{'ok' if p['ok'] else 'FAIL'}] {shard['name']:<12} "
+                f"seed={dict(shard['params'])['seed']:<22} "
+                f"faults={report['faults_injected']:<3} "
+                f"t={report['now_ms']:.0f}ms")
+        if identical is not None:
+            lines.append("  replay: serial re-run "
+                         + ("digest-identical" if identical
+                            else "DIVERGED"))
+        _write_or_print("\n".join(lines), args.output)
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import run_sweep
+
+    kwargs = {}
+    if args.kind == "chaos":
+        kwargs = dict(root_seed=args.seed, runs=args.runs,
+                      nodes=args.nodes, pairs=args.pairs,
+                      messages=args.messages, medium=args.medium,
+                      duration_ms=args.duration,
+                      campaign=args.file if args.file else None)
+    elif args.kind == "capacity":
+        kwargs = dict(disks=tuple(int(d) for d in args.disks.split(",")))
+    elif args.kind == "utilization":
+        kwargs = dict(point=args.point)
+    elif args.kind == "figure57":
+        kwargs = dict(iterations=args.iterations)
+    elif args.kind == "perf":
+        kwargs = dict(names=args.workload or None, seed=args.seed,
+                      smoke=args.smoke)
+    merged = run_sweep(args.kind, max_workers=args.parallel,
+                       check=args.check, **kwargs)
+    ok = True
+    if args.kind == "chaos":
+        ok = all(s["payload"]["ok"] for s in merged["shards"])
+    if args.check:
+        ok = ok and merged["serial_check"]["matches"]
+    if args.json or args.output:
+        _write_or_print(json.dumps(merged, indent=2, sort_keys=True),
+                        args.output)
+    if not args.json or args.output:
+        workers = merged.get("workers") or "auto"
+        print(f"sweep {args.kind}: {merged['count']} shards, "
+              f"workers={workers}, wall {merged['wall_ms']:.0f}ms, "
+              f"digest {merged['digest'][:16]}")
+        if args.check:
+            check = merged["serial_check"]
+            print("serial check: "
+                  + ("MATCH" if check["matches"] else "MISMATCH"))
+            for line in check["mismatches"]:
+                print(f"  - {line}")
+        print(f"result: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import main as perf_main
 
     return perf_main(seed=args.seed, smoke=args.smoke, output=args.output,
                      only=args.workload or None, compare=args.compare,
-                     tolerance=args.tolerance)
+                     tolerance=args.tolerance, parallel=args.parallel)
 
 
 def main(argv=None) -> int:
@@ -277,13 +386,21 @@ def main(argv=None) -> int:
                                "csma_ethernet", "star", "token_ring"])
     demo.set_defaults(fn=_cmd_demo)
 
+    def add_parallel(cmd, what):
+        cmd.add_argument("--parallel", type=int, default=None, metavar="N",
+                         help=f"shard {what} over N worker processes "
+                              "(default: serial; results are identical "
+                              "either way)")
+
     cap = sub.add_parser("capacity", help="§5.1 capacity table")
+    add_parallel(cap, "the operating-point probes")
     cap.set_defaults(fn=_cmd_capacity)
 
     util = sub.add_parser("utilization", help="Figure 5.5 sweep")
     util.add_argument("--point", default="mean",
                       choices=["mean", "max_load_average",
                                "max_state_sizes", "max_message_rate"])
+    add_parallel(util, "the grid cells")
     util.set_defaults(fn=_cmd_utilization)
 
     f57 = sub.add_parser("figure57", help="Figure 5.7 measurement")
@@ -346,7 +463,55 @@ def main(argv=None) -> int:
     chaos.add_argument("--output", default=None,
                        help="write the report to this file instead of "
                             "stdout")
+    chaos.add_argument("--runs", type=int, default=1, metavar="K",
+                       help="run a K-scenario seed matrix (seeds derived "
+                            "from --seed per shard) instead of a single "
+                            "campaign")
+    add_parallel(chaos, "the seed matrix (--runs > 1)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep", help="shard an evaluation sweep over worker processes "
+                      "and merge the results deterministically")
+    sweep.add_argument("--kind", default="chaos",
+                       choices=["chaos", "capacity", "utilization",
+                                "figure57", "perf"])
+    add_parallel(sweep, "the sweep")
+    sweep.add_argument("--check", action="store_true",
+                       help="also run serially and fail on any shard "
+                            "digest mismatch")
+    sweep.add_argument("--seed", type=int, default=1983,
+                       help="root seed (chaos/perf kinds)")
+    sweep.add_argument("--runs", type=int, default=9,
+                       help="chaos: scenarios in the seed matrix")
+    sweep.add_argument("--nodes", type=int, default=3)
+    sweep.add_argument("--pairs", type=int, default=2)
+    sweep.add_argument("--messages", type=int, default=20)
+    sweep.add_argument("--medium", default="broadcast",
+                       choices=media_choices)
+    sweep.add_argument("--duration", type=float, default=4000.0,
+                       help="chaos: monkey campaign horizon (sim ms)")
+    sweep.add_argument("--file", default=None,
+                       help="chaos: replay this campaign JSON file in "
+                            "every shard instead of per-shard monkeys")
+    sweep.add_argument("--disks", default="1",
+                       help="capacity: comma-separated disk counts")
+    sweep.add_argument("--point", default="mean",
+                       choices=["mean", "max_load_average",
+                                "max_state_sizes", "max_message_rate"],
+                       help="utilization: operating point")
+    sweep.add_argument("--iterations", type=int, default=256,
+                       help="figure57: send-to-self iterations")
+    sweep.add_argument("--workload", action="append", default=None,
+                       metavar="NAME", help="perf: only this workload "
+                                            "(repeatable)")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="perf: smoke-size workloads")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the merged report as JSON")
+    sweep.add_argument("--output", default=None,
+                       help="write the merged report JSON to this file")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     perf = sub.add_parser(
         "perf", help="run the benchmark workloads, write "
@@ -368,6 +533,7 @@ def main(argv=None) -> int:
     perf.add_argument("--tolerance", type=float, default=0.25,
                       help="allowed fractional throughput drop for "
                            "--compare (default 0.25)")
+    add_parallel(perf, "the workloads (timings run under contention)")
     perf.set_defaults(fn=_cmd_perf)
 
     args = parser.parse_args(argv)

@@ -6,12 +6,19 @@ checksum are discarded" (§4.3.3). We model that literally: every frame
 carries a CRC computed over a canonical encoding of its payload, and the
 receiving link layer recomputes and compares it. Fault injection corrupts
 the stored CRC, which is indistinguishable from bit rot on the wire.
+
+The CRC runs on every frame send *and* every receive, which makes it one
+of the hottest per-frame code paths in the simulator. It is therefore
+table-driven (one precomputed 256-entry table, one lookup per byte)
+rather than the classic bit-at-a-time loop; :func:`crc16_bitwise` keeps
+the reference implementation, and ``tests/test_net_frames.py`` pins the
+two to byte-for-byte identical outputs so published-frame checksums are
+unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
@@ -21,9 +28,10 @@ BROADCAST = -1
 _frame_counter = itertools.count(1)
 
 
-def crc16(data: bytes) -> int:
-    """CRC-16/CCITT over ``data`` — the frame checksum.
+def crc16_bitwise(data: bytes) -> int:
+    """CRC-16/CCITT over ``data``, one bit at a time.
 
+    The reference implementation the table version is checked against.
     A real rotating checksum rather than Python's ``hash`` so that the
     value is stable across runs and processes.
     """
@@ -35,6 +43,31 @@ def crc16(data: bytes) -> int:
                 crc = ((crc << 1) ^ 0x1021) & 0xFFFF
             else:
                 crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def _build_crc16_table() -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT over ``data`` — the frame checksum (table-driven)."""
+    crc = 0xFFFF
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ table[(crc >> 8) ^ byte]
     return crc
 
 
@@ -56,41 +89,64 @@ class FrameKind(Enum):
     CONTROL = "control"     # watchdog pings, state queries, etc.
 
 
-@dataclass
 class Frame:
     """One transmission on the medium.
 
     ``recorder_acked`` is set by the medium when the recorder successfully
     stored the frame; link layers at receivers that require publishing drop
     data frames without it (§6.1).
+
+    Frames are allocated per transmission attempt and checksummed at both
+    ends, so the class is slotted and the payload's canonical encoding /
+    CRC is computed once and cached (``_payload_crc``). The cache belongs
+    to the *payload*, not the stored ``checksum``: :meth:`corrupt` models
+    bit rot by flipping the stored checksum **and** drops the cache, so a
+    corrupted frame always fails :meth:`checksum_ok` by recomputation —
+    the cache can never mask injected rot.
     """
 
-    kind: FrameKind
-    src_node: int
-    dst_node: int
-    payload: Any
-    size_bytes: int
-    frame_id: int = field(default_factory=lambda: next(_frame_counter))
-    checksum: Optional[int] = None
-    recorder_acked: bool = False
+    __slots__ = ("kind", "src_node", "dst_node", "payload", "size_bytes",
+                 "frame_id", "checksum", "recorder_acked", "_payload_crc")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"frame size must be positive, got {self.size_bytes}")
-        if self.checksum is None:
-            self.checksum = crc16(canonical_bytes(self.payload))
+    def __init__(self, kind: FrameKind, src_node: int, dst_node: int,
+                 payload: Any, size_bytes: int,
+                 frame_id: Optional[int] = None,
+                 checksum: Optional[int] = None,
+                 recorder_acked: bool = False):
+        if size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {size_bytes}")
+        self.kind = kind
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.frame_id = (next(_frame_counter) if frame_id is None
+                         else frame_id)
+        self.recorder_acked = recorder_acked
+        self._payload_crc: Optional[int] = None
+        if checksum is None:
+            checksum = self.payload_crc()
+        self.checksum = checksum
+
+    def payload_crc(self) -> int:
+        """The CRC of the payload's canonical encoding, computed once."""
+        crc = self._payload_crc
+        if crc is None:
+            crc = self._payload_crc = crc16(canonical_bytes(self.payload))
+        return crc
 
     def checksum_ok(self) -> bool:
-        """Recompute the CRC and compare with the stored one."""
-        return self.checksum == crc16(canonical_bytes(self.payload))
+        """Compare the payload's CRC with the stored one."""
+        return self.checksum == self.payload_crc()
 
     def corrupt(self) -> None:
         """Simulate bit rot: flip a checksum bit so validation fails."""
         self.checksum ^= 0x0001
+        self._payload_crc = None
 
     def clone_for(self, dst_node: int) -> "Frame":
         """A copy of this frame addressed to ``dst_node`` (hub forwarding)."""
-        return Frame(
+        clone = Frame(
             kind=self.kind,
             src_node=self.src_node,
             dst_node=dst_node,
@@ -99,3 +155,22 @@ class Frame:
             checksum=self.checksum,
             recorder_acked=self.recorder_acked,
         )
+        clone._payload_crc = self._payload_crc
+        return clone
+
+    def _fields(self):
+        return (self.kind, self.src_node, self.dst_node, self.payload,
+                self.size_bytes, self.frame_id, self.checksum,
+                self.recorder_acked)
+
+    def __eq__(self, other):
+        if other.__class__ is not Frame:
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __repr__(self) -> str:
+        return (f"Frame(kind={self.kind!r}, src_node={self.src_node!r}, "
+                f"dst_node={self.dst_node!r}, payload={self.payload!r}, "
+                f"size_bytes={self.size_bytes!r}, "
+                f"frame_id={self.frame_id!r}, checksum={self.checksum!r}, "
+                f"recorder_acked={self.recorder_acked!r})")

@@ -1,0 +1,57 @@
+"""repro.parallel — multi-core sharding of independent deterministic runs.
+
+Shard an evaluation sweep (chaos seed matrices, queueing capacity /
+utilization / Figure 5.7 grids, perf repetitions) over a process pool
+and merge the results deterministically: per-shard seeds are derived
+from the root seed by *name* via :func:`repro.sim.rng.derive_seed`, and
+every shard carries a content digest so a parallel run can be proven
+byte-identical to serial execution. See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.parallel.runner import (
+    ShardTask,
+    canonical_json,
+    digest_of,
+    execute_task,
+    make_task,
+    merge_results,
+    resolve_workers,
+    run_tasks,
+    shard_seed,
+    strip_timing,
+    sweep_digest,
+    verify_parallel,
+)
+from repro.parallel.sweeps import (
+    SWEEP_BUILDERS,
+    capacity_tasks,
+    chaos_matrix_tasks,
+    figure57_tasks,
+    perf_tasks,
+    run_sweep,
+    utilization_tasks,
+)
+from repro.parallel.tasks import TASK_KINDS
+
+__all__ = [
+    "SWEEP_BUILDERS",
+    "ShardTask",
+    "TASK_KINDS",
+    "canonical_json",
+    "capacity_tasks",
+    "chaos_matrix_tasks",
+    "digest_of",
+    "execute_task",
+    "figure57_tasks",
+    "make_task",
+    "merge_results",
+    "perf_tasks",
+    "resolve_workers",
+    "run_sweep",
+    "run_tasks",
+    "shard_seed",
+    "strip_timing",
+    "sweep_digest",
+    "utilization_tasks",
+    "verify_parallel",
+]

@@ -1,0 +1,209 @@
+"""Process-pool sharded execution of independent deterministic runs.
+
+The evaluation sweeps — chaos seed matrices, queueing capacity and
+utilization grids, perf-suite repetitions — are embarrassingly parallel:
+every shard is a pure function of its parameters (and, where it draws
+randomness, of a seed derived from the sweep's root seed by *name*, via
+:func:`repro.sim.rng.derive_seed`). This module schedules those shards
+over a pool of worker processes and merges the results back in task
+order, with a content digest per shard so serial and parallel execution
+can be proven byte-identical.
+
+Determinism contract:
+
+* a shard's seed is ``derive_seed(root_seed, shard_name)`` — a function
+  of the *name*, never of scheduling order or worker identity;
+* shards never share mutable state (each builds its own ``System``);
+* results are merged in submission order, regardless of completion
+  order;
+* every shard carries ``digest`` — SHA-256 over its canonical JSON
+  (kind, name, params, deterministic payload; wall-clock timing is
+  excluded) — and the merged report carries the digest chain, so
+  ``run_tasks(tasks, max_workers=1)`` and ``run_tasks(tasks, N)`` must
+  agree digest-for-digest.
+
+Scheduling: tasks are grouped into chunks (default ~4 chunks per
+worker) and the chunks are fed to a warm pool — each worker process is
+created once and serves many chunks, so per-process startup cost is
+paid ``max_workers`` times, not ``len(tasks)`` times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sim.rng import derive_seed
+
+
+def shard_seed(root_seed: int, name: str) -> int:
+    """The master seed shard ``name`` uses in a sweep rooted at
+    ``root_seed`` — ``derive_seed`` under a fixed ``sweep/`` prefix."""
+    return derive_seed(root_seed, f"sweep/{name}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def digest_of(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of sweep work: a registered task kind plus parameters.
+
+    ``name`` must be unique within a sweep — it orders the merge and
+    (for seeded kinds) pins the shard's seed.
+    """
+
+    kind: str
+    name: str
+    #: sorted (key, value) pairs — hashable, picklable, order-stable
+    params: Tuple[Tuple[str, Any], ...]
+
+
+def make_task(kind: str, name: str, **params: Any) -> ShardTask:
+    return ShardTask(kind=kind, name=name,
+                     params=tuple(sorted(params.items())))
+
+
+def execute_task(task: ShardTask) -> Dict[str, Any]:
+    """Run one shard in the current process; returns the shard record.
+
+    The record's ``digest`` covers only the deterministic facts; the
+    executor's wall-clock figures ride in ``timing`` outside it.
+    """
+    from repro.parallel.tasks import TASK_KINDS
+
+    fn = TASK_KINDS.get(task.kind)
+    if fn is None:
+        raise ReproError(f"unknown shard kind {task.kind!r} "
+                         f"(known: {', '.join(sorted(TASK_KINDS))})")
+    params = dict(task.params)
+    payload, timing = fn(params)
+    shard: Dict[str, Any] = {
+        "kind": task.kind,
+        "name": task.name,
+        "params": params,
+        "payload": payload,
+    }
+    shard["digest"] = digest_of(shard)
+    shard["timing"] = timing
+    return shard
+
+
+def _execute_chunk(chunk: List[Tuple[int, ShardTask]]
+                   ) -> List[Tuple[int, Dict[str, Any]]]:
+    """Worker entry point: run one chunk, keep the submission indices."""
+    return [(index, execute_task(task)) for index, task in chunk]
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """``None`` means one worker per core."""
+    if max_workers is None:
+        return os.cpu_count() or 1
+    if max_workers < 1:
+        raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(tasks: Iterable[ShardTask],
+              max_workers: Optional[int] = None,
+              chunk_size: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Execute every task and return shard records in task order.
+
+    ``max_workers=None`` defaults to ``os.cpu_count()``; 1 (or a single
+    task) runs serially in-process — the reference execution the digest
+    check compares against. Chunks default to ~4 per worker so warm
+    workers get several servings and stragglers rebalance.
+    """
+    tasks = list(tasks)
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ReproError(f"shard names must be unique, repeated: {dupes}")
+    workers = min(resolve_workers(max_workers), max(len(tasks), 1))
+    if workers <= 1 or len(tasks) <= 1:
+        return [execute_task(task) for task in tasks]
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(tasks) / (workers * 4)))
+    indexed = list(enumerate(tasks))
+    chunks = [indexed[i:i + chunk_size]
+              for i in range(0, len(indexed), chunk_size)]
+    results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_mp_context()) as pool:
+        futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            for index, shard in future.result():
+                results[index] = shard
+    missing = [tasks[i].name for i, r in enumerate(results) if r is None]
+    if missing:
+        raise ReproError(f"shards never completed: {missing}")
+    return results  # type: ignore[return-value]
+
+
+def sweep_digest(shards: Sequence[Dict[str, Any]]) -> str:
+    """Digest of the whole sweep: the ordered chain of shard digests."""
+    joined = "\n".join(shard["digest"] for shard in shards)
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def merge_results(shards: Sequence[Dict[str, Any]],
+                  **meta: Any) -> Dict[str, Any]:
+    """The merged sweep report: deterministic apart from ``timing``."""
+    merged: Dict[str, Any] = {
+        "count": len(shards),
+        "digest": sweep_digest(shards),
+        "shards": list(shards),
+    }
+    for key in sorted(meta):
+        merged[key] = meta[key]
+    return merged
+
+
+def strip_timing(merged: Dict[str, Any]) -> Dict[str, Any]:
+    """The merged report minus wall-clock noise — the part that must be
+    identical between serial and parallel execution."""
+    out = {k: v for k, v in merged.items() if k != "shards"}
+    out["shards"] = [{k: v for k, v in shard.items() if k != "timing"}
+                     for shard in merged["shards"]]
+    return out
+
+
+def verify_parallel(tasks: Sequence[ShardTask],
+                    max_workers: Optional[int] = None,
+                    chunk_size: Optional[int] = None
+                    ) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Run ``tasks`` on the pool *and* serially; return the parallel
+    shards plus a list of digest mismatches (empty == proven equal)."""
+    parallel = run_tasks(tasks, max_workers=max_workers,
+                         chunk_size=chunk_size)
+    serial = run_tasks(tasks, max_workers=1)
+    mismatches = [
+        f"{p['name']}: parallel {p['digest'][:12]} != "
+        f"serial {s['digest'][:12]}"
+        for p, s in zip(parallel, serial) if p["digest"] != s["digest"]
+    ]
+    if sweep_digest(parallel) != sweep_digest(serial) and not mismatches:
+        mismatches.append("sweep digest chain diverged (ordering)")
+    return parallel, mismatches

@@ -1,0 +1,146 @@
+"""Sweep builders: whole evaluation matrices as shard task lists.
+
+Each builder turns one evaluation axis of the thesis — the chaos seed
+matrix, the §5.1 capacity table, the Figure 5.5 utilization grid, the
+Figure 5.7 measurement pair, the perf suite — into a list of
+:class:`~repro.parallel.runner.ShardTask`\\ s, and :func:`run_sweep`
+drives them through the pool, optionally proving the parallel run
+digest-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.parallel.runner import (
+    ShardTask,
+    make_task,
+    merge_results,
+    run_tasks,
+    shard_seed,
+    sweep_digest,
+)
+
+#: media the chaos matrix accepts, mirroring the CLI
+DEFAULT_MEDIUM = "broadcast"
+
+
+def chaos_matrix_tasks(root_seed: int = 1983, runs: int = 9,
+                       nodes: int = 3, pairs: int = 2, messages: int = 20,
+                       medium: str = DEFAULT_MEDIUM,
+                       duration_ms: float = 4000.0,
+                       settle_ms: float = 6000.0,
+                       campaign: Optional[Dict[str, Any]] = None,
+                       ) -> List[ShardTask]:
+    """``runs`` seeded chaos scenarios. Every shard's master seed is
+    ``shard_seed(root_seed, name)`` — pure name derivation, so the
+    matrix lands on identical seeds however it is scheduled. With a
+    ``campaign`` spec dict the same campaign replays under each derived
+    seed's workload; without one each shard runs its own monkey."""
+    tasks = []
+    for k in range(runs):
+        name = f"chaos/{k:03d}"
+        tasks.append(make_task(
+            "chaos", name, seed=shard_seed(root_seed, name), nodes=nodes,
+            pairs=pairs, messages=messages, medium=medium,
+            duration_ms=duration_ms, settle_ms=settle_ms,
+            campaign=campaign))
+    return tasks
+
+
+def capacity_tasks(points: Optional[Iterable[str]] = None,
+                   disks: Sequence[int] = (1,),
+                   buffered: bool = True) -> List[ShardTask]:
+    """One capacity probe per (operating point, disk count)."""
+    from repro.queueing import OPERATING_POINTS
+
+    names = sorted(points) if points else sorted(OPERATING_POINTS)
+    unknown = [p for p in names if p not in OPERATING_POINTS]
+    if unknown:
+        raise ReproError(f"unknown operating point(s): {unknown}")
+    return [make_task("capacity", f"capacity/{point}/disks{d}",
+                      point=point, disks=d, buffered=buffered)
+            for point in names for d in disks]
+
+
+def utilization_tasks(point: str = "mean",
+                      disks: Sequence[int] = (1, 2, 3),
+                      nodes: Sequence[int] = (1, 2, 3, 4, 5)
+                      ) -> List[ShardTask]:
+    """The Figure 5.5 grid for one operating point."""
+    return [make_task("utilization", f"utilization/{point}/d{d}n{n}",
+                      point=point, disks=d, nodes=n)
+            for d in disks for n in nodes]
+
+
+def figure57_tasks(iterations: int = 256) -> List[ShardTask]:
+    """The Figure 5.7 pair: with and without publishing."""
+    return [make_task("figure57", f"figure57/{label}",
+                      publishing=publishing, iterations=iterations)
+            for label, publishing in (("publishing", True),
+                                      ("bare", False))]
+
+
+def perf_tasks(names: Optional[Sequence[str]] = None, seed: int = 1983,
+               smoke: bool = True) -> List[ShardTask]:
+    """One shard per benchmark workload (suite order preserved)."""
+    from repro.perf.workloads import WORKLOADS
+
+    chosen = list(names) if names else list(WORKLOADS)
+    unknown = [n for n in chosen if n not in WORKLOADS]
+    if unknown:
+        raise ReproError(f"unknown workload(s): {unknown}")
+    return [make_task("perf", f"perf/{name}", workload=name, seed=seed,
+                      smoke=smoke)
+            for name in chosen]
+
+
+#: sweep kind -> builder(**kwargs) -> tasks
+SWEEP_BUILDERS = {
+    "chaos": chaos_matrix_tasks,
+    "capacity": capacity_tasks,
+    "utilization": utilization_tasks,
+    "figure57": figure57_tasks,
+    "perf": perf_tasks,
+}
+
+
+def run_sweep(kind: str, max_workers: Optional[int] = None,
+              chunk_size: Optional[int] = None, check: bool = False,
+              **builder_kwargs: Any) -> Dict[str, Any]:
+    """Build and execute one sweep; returns the merged report.
+
+    With ``check=True`` the sweep additionally runs serially and the
+    report's ``serial_check`` records whether every shard digest (and
+    the ordered digest chain) matched — the CI gate for scheduler
+    determinism.
+    """
+    builder = SWEEP_BUILDERS.get(kind)
+    if builder is None:
+        raise ReproError(f"unknown sweep kind {kind!r} "
+                         f"(known: {', '.join(sorted(SWEEP_BUILDERS))})")
+    tasks = builder(**builder_kwargs)
+    start = time.perf_counter()
+    shards = run_tasks(tasks, max_workers=max_workers,
+                       chunk_size=chunk_size)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    merged = merge_results(shards, sweep=kind,
+                           workers=max_workers, wall_ms=round(wall_ms, 3))
+    if check:
+        serial_start = time.perf_counter()
+        serial = run_tasks(tasks, max_workers=1)
+        serial_wall_ms = (time.perf_counter() - serial_start) * 1000.0
+        mismatches = [
+            f"{p['name']}: parallel {p['digest'][:12]} != "
+            f"serial {s['digest'][:12]}"
+            for p, s in zip(shards, serial) if p["digest"] != s["digest"]]
+        matches = not mismatches and sweep_digest(serial) == merged["digest"]
+        merged["serial_check"] = {
+            "matches": matches,
+            "serial_digest": sweep_digest(serial),
+            "mismatches": mismatches,
+            "serial_wall_ms": round(serial_wall_ms, 3),
+        }
+    return merged

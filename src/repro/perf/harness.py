@@ -71,24 +71,41 @@ def run_workload(name: str, seed: int, smoke: bool) -> Dict[str, Any]:
 
 
 def run_suite(seed: int = 1983, smoke: bool = False,
-              only: Optional[Iterable[str]] = None) -> Dict[str, Any]:
-    """Run the selected workloads and assemble the full report."""
+              only: Optional[Iterable[str]] = None,
+              parallel: Optional[int] = None) -> Dict[str, Any]:
+    """Run the selected workloads and assemble the full report.
+
+    ``parallel=N`` (N > 1) shards the workloads over N worker processes
+    via :mod:`repro.parallel`. Deterministic facts are unaffected (each
+    workload still runs whole in one process); wall-clock figures are
+    measured under contention, so use parallel runs for quick checks
+    and serial runs for committed baselines.
+    """
     names = list(only) if only else list(WORKLOADS)
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
         raise KeyError(f"unknown workload(s): {', '.join(unknown)} "
                        f"(known: {', '.join(WORKLOADS)})")
-    workloads = [run_workload(name, seed, smoke) for name in names]
+    meta = {
+        "seed": seed,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+    if parallel is not None and parallel > 1:
+        from repro.parallel import perf_tasks, run_tasks
+        shards = run_tasks(perf_tasks(names, seed=seed, smoke=smoke),
+                           max_workers=parallel)
+        workloads = [{**shard["payload"], **shard["timing"]}
+                     for shard in shards]
+        meta["workers"] = parallel
+    else:
+        workloads = [run_workload(name, seed, smoke) for name in names]
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "publishing",
-        "meta": {
-            "seed": seed,
-            "mode": "smoke" if smoke else "full",
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "platform": platform.platform(),
-        },
+        "meta": meta,
         "workloads": workloads,
     }
 
@@ -147,10 +164,11 @@ def write_report(report: Dict[str, Any], path: str) -> None:
 def main(seed: int, smoke: bool, output: Optional[str],
          only: Optional[List[str]] = None,
          compare: Optional[str] = None,
-         tolerance: float = DEFAULT_TOLERANCE) -> int:
+         tolerance: float = DEFAULT_TOLERANCE,
+         parallel: Optional[int] = None) -> int:
     """CLI entry point shared by ``python -m repro perf``. Returns an
     exit code: 0 on success, 1 on regression vs the compare baseline."""
-    report = run_suite(seed=seed, smoke=smoke, only=only)
+    report = run_suite(seed=seed, smoke=smoke, only=only, parallel=parallel)
     print(format_report(report))
     if output:
         write_report(report, output)

@@ -334,6 +334,74 @@ def chaos_campaign(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# multi-core sweep scaling (repro.parallel)
+# ----------------------------------------------------------------------
+
+#: sweep_scaling knobs: (scenarios, messages per pair)
+_SWEEP_FULL = (16, 12)
+_SWEEP_SMOKE = (6, 8)
+
+#: the scaling curve's sample points
+_SWEEP_WORKER_COUNTS = (1, 2, 4)
+
+
+def sweep_scaling(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Scenarios/sec of a chaos seed matrix at 1, 2 and 4 workers.
+
+    The same task list runs through :func:`repro.parallel.run_tasks` at
+    each worker count; every run must produce the identical digest
+    chain (the determinism contract of the sharded runner) and every
+    scenario must pass its campaign invariants, so the scaling figures
+    can never describe divergent or broken runs. The speedup is bounded
+    by the machine's core count — expect ~1x on a single-core box.
+    """
+    from repro.parallel import chaos_matrix_tasks, run_tasks, sweep_digest
+
+    runs, messages = _SWEEP_SMOKE if smoke else _SWEEP_FULL
+    tasks = chaos_matrix_tasks(root_seed=seed, runs=runs, pairs=1,
+                               messages=messages, duration_ms=2500.0,
+                               settle_ms=6000.0)
+    workers_out: Dict[str, Dict[str, float]] = {}
+    digests = []
+    shards: List[Dict[str, Any]] = []
+    for workers in _SWEEP_WORKER_COUNTS:
+        start = time.perf_counter()
+        shards = run_tasks(tasks, max_workers=workers)
+        wall_s = time.perf_counter() - start
+        digests.append(sweep_digest(shards))
+        workers_out[str(workers)] = {
+            "wall_ms": round(wall_s * 1000.0, 3),
+            "scenarios_per_sec": round(runs / wall_s, 3) if wall_s else 0.0,
+        }
+    if len(set(digests)) != 1:
+        raise PerfDivergence(
+            f"sweep_scaling: digest chain varied with worker count: "
+            f"{[d[:12] for d in digests]}")
+    broken = [s["name"] for s in shards if not s["payload"]["ok"]]
+    if broken:
+        raise PerfDivergence(
+            f"sweep_scaling: scenarios failed their invariants: {broken}")
+
+    def rate(workers: int) -> float:
+        return workers_out[str(workers)]["scenarios_per_sec"]
+
+    serial = workers_out["1"]
+    return {
+        "ops": runs,
+        "events": sum(s["payload"]["events_fired"] for s in shards),
+        # parallel shards overlap in simulated time; report the longest
+        "sim_ms": round(max(s["payload"]["sim_ms"] for s in shards), 6),
+        "wall_ms": serial["wall_ms"],   # ops/sec = serial scenarios/sec
+        "workers": workers_out,
+        "speedup_2_workers": (round(rate(2) / rate(1), 3)
+                              if rate(1) else 0.0),
+        "speedup_4_workers": (round(rate(4) / rate(1), 3)
+                              if rate(1) else 0.0),
+        "sweep_digest": digests[0][:16],
+    }
+
+
 #: name -> workload function, in canonical report order
 WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "engine_churn": engine_churn,
@@ -342,4 +410,5 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "storm_token_ring": storm_token_ring,
     "recorder_pipeline": recorder_pipeline,
     "chaos_campaign": chaos_campaign,
+    "sweep_scaling": sweep_scaling,
 }

@@ -24,12 +24,19 @@ from repro.queueing.workload import (
 )
 
 
-def _stable_with_users(point: OperatingPoint, users: int, disks: int,
-                       buffered: bool, hardware: HardwareParams) -> bool:
-    adjusted = replace(point, users_per_node=users)
-    model = OpenQueueingModel(point=adjusted, nodes=1, disks=disks,
-                              buffered_writes=buffered, hardware=hardware)
-    return model.stable()
+def _probe_model(point: OperatingPoint, disks: int, buffered: bool,
+                 hardware: HardwareParams) -> OpenQueueingModel:
+    """The single-node model a capacity probe sweeps user counts through.
+
+    Per-class arrival rates are per-user figures times the user count
+    and nothing else in the model depends on ``users_per_node``, so one
+    model instance serves every probe of the bisection via the explicit
+    ``users=`` override — the arithmetic is operation-for-operation the
+    same as rebuilding ``replace(point, users_per_node=u)`` each time
+    (pinned by ``tests/test_queueing.py``).
+    """
+    return OpenQueueingModel(point=point, nodes=1, disks=disks,
+                             buffered_writes=buffered, hardware=hardware)
 
 
 def capacity_in_users(point: OperatingPoint, disks: int = 1,
@@ -38,12 +45,13 @@ def capacity_in_users(point: OperatingPoint, disks: int = 1,
                       limit: int = 2000) -> int:
     """Largest user count for which every station keeps ρ < 1."""
     hardware = hardware or HardwareParams()
+    model = _probe_model(point, disks, buffered, hardware)
     lo, hi = 0, 1
-    while hi < limit and _stable_with_users(point, hi, disks, buffered, hardware):
+    while hi < limit and model.stable(users=hi):
         lo, hi = hi, hi * 2
     while lo + 1 < hi:
         mid = (lo + hi) // 2
-        if _stable_with_users(point, mid, disks, buffered, hardware):
+        if model.stable(users=mid):
             lo = mid
         else:
             hi = mid
@@ -63,10 +71,8 @@ def bottleneck(point: OperatingPoint, users: int, disks: int = 1,
                hardware: Optional[HardwareParams] = None) -> str:
     """Which station has the highest utilization at ``users``."""
     hardware = hardware or HardwareParams()
-    adjusted = replace(point, users_per_node=users)
-    model = OpenQueueingModel(point=adjusted, nodes=1, disks=disks,
-                              buffered_writes=buffered, hardware=hardware)
-    utils = model.utilizations()
+    model = _probe_model(point, disks, buffered, hardware)
+    utils = model.utilizations(users=users)
     return max(utils, key=utils.get)
 
 

@@ -23,7 +23,7 @@ per data frame on the network station.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import QueueingModelError
 from repro.queueing.hardware import HardwareParams
@@ -79,23 +79,32 @@ class OpenQueueingModel:
     def users(self) -> int:
         return self.nodes * self.point.users_per_node
 
-    def class_rates_per_s(self) -> Dict[str, float]:
-        """System-wide arrival rate of each message class."""
+    def class_rates_per_s(self, users: Optional[int] = None
+                          ) -> Dict[str, float]:
+        """System-wide arrival rate of each message class.
+
+        All per-class rates are per-user figures times the user count,
+        so every method below accepts an explicit ``users`` override:
+        capacity probes (:func:`repro.queueing.capacity.capacity_in_users`)
+        build **one** model and sweep the user count through it instead
+        of rebuilding the model per probe. ``None`` means the model's
+        own ``nodes * users_per_node``.
+        """
         ckpt_rate, _ = checkpoint_traffic(self.point)
-        u = self.users
+        u = self.users if users is None else users
         return {
             "short": self.point.short_rate * u,
             "long": self.point.long_rate * u,
             "checkpoint": ckpt_rate * u,
         }
 
-    def total_packet_rate_per_s(self) -> float:
-        return sum(self.class_rates_per_s().values())
+    def total_packet_rate_per_s(self, users: Optional[int] = None) -> float:
+        return sum(self.class_rates_per_s(users).values())
 
     # ------------------------------------------------------------------
-    def network_load(self) -> StationLoad:
+    def network_load(self, users: Optional[int] = None) -> StationLoad:
         hw = self.hardware
-        rates = self.class_rates_per_s()
+        rates = self.class_rates_per_s(users)
         total = sum(rates.values())
         if total <= 0:
             raise QueueingModelError("operating point generates no traffic")
@@ -109,14 +118,14 @@ class OpenQueueingModel:
         return StationLoad("network", arrival_rate_per_s=2 * total,
                            mean_service_ms=service)
 
-    def cpu_load(self) -> StationLoad:
-        total = self.total_packet_rate_per_s()
+    def cpu_load(self, users: Optional[int] = None) -> StationLoad:
+        total = self.total_packet_rate_per_s(users)
         return StationLoad("cpu", arrival_rate_per_s=total,
                            mean_service_ms=self.hardware.packet_cpu_ms)
 
-    def disk_load(self) -> StationLoad:
+    def disk_load(self, users: Optional[int] = None) -> StationLoad:
         hw = self.hardware
-        rates = self.class_rates_per_s()
+        rates = self.class_rates_per_s(users)
         total = sum(rates.values())
         if self.buffered_writes:
             per_byte = hw.disk_ms_per_byte_buffered()
@@ -134,14 +143,15 @@ class OpenQueueingModel:
         return StationLoad("disk", arrival_rate_per_s=total,
                            mean_service_ms=service, servers=self.disks)
 
-    def stations(self) -> List[StationLoad]:
+    def stations(self, users: Optional[int] = None) -> List[StationLoad]:
         """All three stations of Figure 5.1."""
-        return [self.network_load(), self.cpu_load(), self.disk_load()]
+        return [self.network_load(users), self.cpu_load(users),
+                self.disk_load(users)]
 
-    def utilizations(self) -> Dict[str, float]:
+    def utilizations(self, users: Optional[int] = None) -> Dict[str, float]:
         """name → ρ, the Figure 5.5 quantities."""
-        return {s.name: s.utilization for s in self.stations()}
+        return {s.name: s.utilization for s in self.stations(users)}
 
-    def stable(self) -> bool:
+    def stable(self, users: Optional[int] = None) -> bool:
         """True when every station keeps ρ < 1."""
-        return all(not s.saturated for s in self.stations())
+        return all(not s.saturated for s in self.stations(users))

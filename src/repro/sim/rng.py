@@ -14,6 +14,20 @@ import random
 from typing import Dict
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """A stable 64-bit seed derived from ``(master_seed, name)``.
+
+    This is the seed-derivation primitive for the whole reproduction:
+    :class:`RngStreams` uses it for its named streams, and
+    :mod:`repro.parallel` uses it to give every shard of a sweep its own
+    seed as a pure function of the root seed and the shard's *name* —
+    never of scheduling order — so results are identical whether shards
+    run serially or spread over N worker processes.
+    """
+    digest = hashlib.sha256(f"{master_seed}/{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngStreams:
     """A factory of independent ``random.Random`` streams keyed by name."""
 
@@ -29,8 +43,8 @@ class RngStreams:
         seed, independent of creation order.
         """
         if name not in self._streams:
-            digest = hashlib.sha256(f"{self.master_seed}/{name}".encode()).digest()
-            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = random.Random(
+                derive_seed(self.master_seed, name))
         return self._streams[name]
 
     def exponential(self, name: str, mean: float) -> float:

@@ -1,8 +1,17 @@
 """Unit tests for frames, checksums, and fault injection."""
 
+import random
+
 import pytest
 
-from repro.net.frames import BROADCAST, Frame, FrameKind, canonical_bytes, crc16
+from repro.net.frames import (
+    BROADCAST,
+    Frame,
+    FrameKind,
+    canonical_bytes,
+    crc16,
+    crc16_bitwise,
+)
 from repro.net.faults import FaultPlan
 from repro.sim.rng import RngStreams
 
@@ -21,6 +30,22 @@ class TestCrc:
 
     def test_empty_input(self):
         assert crc16(b"") == 0xFFFF
+
+    def test_table_matches_bitwise_reference(self):
+        """The 256-entry table implementation must agree byte-for-byte
+        with the original bit-loop on random payloads — published-frame
+        checksums are unchanged by the optimization."""
+        rng = random.Random(1983)
+        payloads = [b"", b"\x00", b"\xff" * 64, b"123456789"]
+        payloads += [bytes(rng.randrange(256)
+                           for _ in range(rng.randrange(1, 512)))
+                     for _ in range(200)]
+        for payload in payloads:
+            assert crc16(payload) == crc16_bitwise(payload), payload
+
+    def test_crc16_ccitt_check_value(self):
+        # CRC-16/CCITT-FALSE check value for "123456789"
+        assert crc16(b"123456789") == 0x29B1
 
 
 class TestFrame:
@@ -55,6 +80,50 @@ class TestFrame:
         assert clone.payload == frame.payload
         assert clone.checksum == frame.checksum
         assert clone.checksum_ok()
+
+    def test_slots_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            make_frame().not_a_field = 1
+
+
+class TestChecksumCache:
+    """The per-frame CRC cache must never mask injected bit rot."""
+
+    def test_corrupt_after_validation_still_detected(self):
+        frame = make_frame()
+        assert frame.checksum_ok()          # warm the cache
+        frame.corrupt()
+        assert not frame.checksum_ok()      # cache invalidated
+        frame.corrupt()
+        assert frame.checksum_ok()          # double-flip restores
+
+    def test_fault_injected_copy_fails_check_with_warm_caches(self):
+        plan = FaultPlan()
+        plan.corrupt_next(lambda f, node: True)
+        frame = make_frame()
+        assert frame.checksum_ok()          # original cache warm
+        seen = plan.apply(frame, 2)
+        assert seen is not frame
+        assert not seen.checksum_ok()       # corruption flips the check
+        assert not seen.checksum_ok()       # ... and stays flipped
+        assert frame.checksum_ok()          # original untouched
+
+    def test_clone_shares_cache_and_still_validates(self):
+        frame = make_frame()
+        assert frame.checksum_ok()
+        clone = frame.clone_for(9)
+        assert clone.checksum_ok()
+        clone.corrupt()
+        assert not clone.checksum_ok()
+        assert frame.checksum_ok()
+
+    def test_repeated_checks_computed_once(self):
+        frame = make_frame()
+        assert frame.payload_crc() == crc16(canonical_bytes(frame.payload))
+        cached = frame._payload_crc
+        assert cached is not None
+        frame.checksum_ok()
+        assert frame._payload_crc is cached
 
 
 class TestFaultPlan:

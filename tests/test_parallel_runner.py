@@ -1,0 +1,158 @@
+"""The multi-core sweep runner: seed derivation, scheduling, and the
+serial-vs-parallel determinism guarantee (see docs/PERFORMANCE.md).
+
+The load-bearing test here is the 9-point chaos sweep run both serially
+and on 3 workers: per-shard digests, the merged report JSON (minus
+wall-clock timing) and shard ordering must all be identical, which is
+the contract every ``--parallel`` CLI flag relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import (
+    capacity_tasks,
+    chaos_matrix_tasks,
+    execute_task,
+    make_task,
+    perf_tasks,
+    run_sweep,
+    run_tasks,
+    shard_seed,
+    strip_timing,
+    sweep_digest,
+    utilization_tasks,
+    verify_parallel,
+)
+from repro.sim.rng import RngStreams, derive_seed
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+class TestSeedDerivation:
+    def test_stable_across_calls(self):
+        assert derive_seed(1983, "a") == derive_seed(1983, "a")
+        assert shard_seed(1983, "chaos/000") == shard_seed(1983, "chaos/000")
+
+    def test_name_and_root_dependent(self):
+        assert derive_seed(1983, "a") != derive_seed(1983, "b")
+        assert derive_seed(1983, "a") != derive_seed(1984, "a")
+
+    def test_matches_rng_stream_seeding(self):
+        """RngStreams and derive_seed must agree — a shard seeded with
+        derive_seed(root, name) sees the stream RngStreams(root) would
+        hand out for the same name."""
+        stream = RngStreams(7).stream("x")
+        import random
+        assert random.Random(derive_seed(7, "x")).random() == stream.random()
+
+    def test_task_seeds_are_order_independent(self):
+        """The 5th shard of a 9-task matrix has the same seed as the
+        5th shard of a 5-task matrix: derivation is by name only."""
+        nine = chaos_matrix_tasks(root_seed=11, runs=9)
+        five = chaos_matrix_tasks(root_seed=11, runs=5)
+        assert dict(nine[4].params)["seed"] == dict(five[4].params)["seed"]
+
+
+# ----------------------------------------------------------------------
+# scheduling and merge mechanics
+# ----------------------------------------------------------------------
+class TestRunTasks:
+    def test_order_preserved_under_chunking(self):
+        """15 grid cells, 3 workers, tiny chunks: the merge must come
+        back in task order regardless of completion order."""
+        tasks = utilization_tasks(point="mean")
+        shards = run_tasks(tasks, max_workers=3, chunk_size=2)
+        assert [s["name"] for s in shards] == [t.name for t in tasks]
+
+    def test_duplicate_names_rejected(self):
+        task = make_task("utilization", "dup", point="mean", disks=1, nodes=1)
+        with pytest.raises(ReproError):
+            run_tasks([task, task], max_workers=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            execute_task(make_task("no_such_kind", "x"))
+
+    def test_shard_digest_covers_payload_not_timing(self):
+        task = capacity_tasks(points=["mean"])[0]
+        first = execute_task(task)
+        second = execute_task(task)
+        assert first["digest"] == second["digest"]
+        assert first["payload"] == second["payload"]
+        # timing may differ run to run; stripping it equalises the rest
+        assert {k: v for k, v in first.items() if k != "timing"} \
+            == {k: v for k, v in second.items() if k != "timing"}
+
+
+# ----------------------------------------------------------------------
+# the determinism guarantee (satellite: 9-point sweep, 3 workers)
+# ----------------------------------------------------------------------
+class TestSerialParallelEquality:
+    def test_nine_point_chaos_sweep_matches_serial(self):
+        tasks = chaos_matrix_tasks(root_seed=1983, runs=9, pairs=1,
+                                   messages=8, duration_ms=2500.0)
+        serial = run_tasks(tasks, max_workers=1)
+        parallel = run_tasks(tasks, max_workers=3)
+        # ordering
+        assert [s["name"] for s in parallel] == [t.name for t in tasks]
+        assert [s["name"] for s in serial] == [s["name"] for s in parallel]
+        # per-shard digests
+        assert [s["digest"] for s in serial] \
+            == [s["digest"] for s in parallel]
+        # merged report JSON, wall-clock stripped, must be bit-identical
+        from repro.parallel import merge_results
+        assert json.dumps(strip_timing(merge_results(serial)),
+                          sort_keys=True) \
+            == json.dumps(strip_timing(merge_results(parallel)),
+                          sort_keys=True)
+        # and the event streams inside really were exercised
+        assert all(s["payload"]["events_fired"] > 0 for s in parallel)
+        assert sweep_digest(serial) == sweep_digest(parallel)
+
+    def test_verify_parallel_reports_no_mismatches(self):
+        tasks = capacity_tasks(disks=(1, 2))
+        shards, mismatches = verify_parallel(tasks, max_workers=2)
+        assert mismatches == []
+        assert len(shards) == len(tasks)
+
+    def test_run_sweep_check_gate(self):
+        merged = run_sweep("utilization", max_workers=2, check=True,
+                           point="mean")
+        assert merged["serial_check"]["matches"]
+        assert merged["serial_check"]["mismatches"] == []
+        assert merged["count"] == 15
+        assert merged["digest"] == merged["serial_check"]["serial_digest"]
+
+    def test_perf_shard_payload_is_deterministic(self):
+        """A perf shard's digest excludes wall-clock keys, so two runs
+        of the same workload digest identically."""
+        task = perf_tasks(names=["storm_token_ring"], smoke=True)[0]
+        assert execute_task(task)["digest"] == execute_task(task)["digest"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestSweepCli:
+    def test_sweep_capacity_check_json(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+        out = tmp_path / "sweep.json"
+        assert cli_main(["sweep", "--kind", "capacity", "--parallel", "2",
+                         "--check", "--output", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        assert merged["count"] == 4
+        assert merged["serial_check"]["matches"]
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_chaos_runs_matrix_exit_code(self, tmp_path):
+        from repro.__main__ import main as cli_main
+        out = tmp_path / "matrix.json"
+        assert cli_main(["chaos", "--runs", "3", "--parallel", "2",
+                         "--messages", "8", "--duration", "2000",
+                         "--json", "--output", str(out)]) == 0
+        matrix = json.loads(out.read_text())
+        assert matrix["runs"] == 3 and matrix["ok"]

@@ -188,3 +188,48 @@ class TestHeadlineClaims:
         """§6.6.1: skipping the backups buys extra capacity."""
         gain = selective_publishing_gain(OPERATING_POINTS["max_message_rate"])
         assert gain["selective_users"] > gain["baseline_users"]
+
+
+class TestCapacityProbeReuse:
+    """capacity_in_users now sweeps user counts through one reused
+    model (``stable(users=...)``) instead of rebuilding a model per
+    probe; the arithmetic must match the rebuild-per-probe original
+    exactly, for every operating point and disk count."""
+
+    @pytest.mark.parametrize("name", sorted(OPERATING_POINTS))
+    @pytest.mark.parametrize("disks", [1, 2])
+    def test_matches_rebuild_per_probe(self, name, disks):
+        from dataclasses import replace
+
+        point = OPERATING_POINTS[name]
+        hardware = HardwareParams()
+
+        def rebuild_stable(users):
+            adjusted = replace(point, users_per_node=users)
+            return OpenQueueingModel(point=adjusted, nodes=1, disks=disks,
+                                     hardware=hardware).stable()
+
+        def rebuild_capacity(limit=2000):
+            lo, hi = 0, 1
+            while hi < limit and rebuild_stable(hi):
+                lo, hi = hi, hi * 2
+            while lo + 1 < hi:
+                mid = (lo + hi) // 2
+                if rebuild_stable(mid):
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+
+        assert capacity_in_users(point, disks=disks) == rebuild_capacity()
+
+    def test_users_override_equals_adjusted_model(self):
+        from dataclasses import replace
+
+        point = OPERATING_POINTS["mean"]
+        model = OpenQueueingModel(point=point, nodes=1)
+        for users in (1, 17, 114, 115, 400):
+            adjusted = OpenQueueingModel(
+                point=replace(point, users_per_node=users), nodes=1)
+            assert model.utilizations(users=users) == adjusted.utilizations()
+            assert model.stable(users=users) == adjusted.stable()
