@@ -1,0 +1,44 @@
+"""The log-structured recorder store vs the flat-list reference.
+
+Drives the ``recorder_scaling`` workload (the same seeded operation
+scripts the perf suite and ``BENCH_publishing.json`` use) and asserts
+the storage engine actually pays: the replay path at the largest grid
+point must be at least 2x the naive full-rescan reference, with
+byte-identical replay order and consumed-id answers (the workload
+itself raises ``PerfDivergence`` on any digest mismatch), and the
+compaction/GC pass must have fired along the way.
+"""
+
+from repro.perf.workloads import recorder_scaling
+
+from conftest import once, print_table
+
+SEED = 1983
+
+
+def test_replay_path_speedup_and_storage_bounds(benchmark):
+    result = once(benchmark, recorder_scaling, SEED, False)
+
+    rows = []
+    for label, point in result["grid"].items():
+        rows.append([label,
+                     f"{point['replay_wall_ms']:.2f}",
+                     f"{point['flat_replay_wall_ms']:.2f}",
+                     f"{point['replay_speedup_vs_flat']:.2f}x",
+                     point["compactions"] + point["segments_retired"]])
+    print_table("recorder replay path: segmented log vs flat rescan",
+                ["grid", "seg ms", "flat ms", "speedup", "gc passes"],
+                rows)
+
+    label, largest = list(result["grid"].items())[-1]
+    assert largest["replay_speedup_vs_flat"] >= 2.0, \
+        (f"replay path only {largest['replay_speedup_vs_flat']:.2f}x vs "
+         f"the flat reference at {label}")
+    # the speedup must come from the storage engine doing its job, not
+    # from the GC never running
+    assert largest["compactions"] + largest["segments_retired"] > 0
+    # group commit: batched pages must beat one-write-per-message
+    contrast = result["page_buffer"]
+    assert contrast["batched"]["disk_writes"] < \
+        contrast["unbatched"]["disk_writes"]
+    assert contrast["batched_deadline"]["deadline_flushes"] > 0

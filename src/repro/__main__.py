@@ -369,7 +369,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import main as perf_main
 
-    return perf_main(seed=args.seed, smoke=args.smoke, output=args.output,
+    output = args.output
+    if output is None:
+        # A partial run must not overwrite the canonical baseline by
+        # default; pass --output explicitly to write one anyway.
+        if args.workload:
+            output = ""
+            print("note: --workload selected, skipping default "
+                  "BENCH_publishing.json write (use --output to force)")
+        else:
+            output = "BENCH_publishing.json"
+    return perf_main(seed=args.seed, smoke=args.smoke, output=output,
                      only=args.workload or None, compare=args.compare,
                      tolerance=args.tolerance, parallel=args.parallel)
 
@@ -524,8 +534,9 @@ def main(argv=None) -> int:
                       metavar="NAME",
                       help="run only this workload (repeatable); "
                            "default: all")
-    perf.add_argument("--output", default="BENCH_publishing.json",
-                      help="report path ('' to skip writing)")
+    perf.add_argument("--output", default=None,
+                      help="report path ('' to skip writing; default "
+                           "BENCH_publishing.json for full-suite runs)")
     perf.add_argument("--compare", default=None, metavar="BASELINE.json",
                       help="fail (exit 1) if any workload's ops/sec "
                            "regressed more than --tolerance vs this "

@@ -126,14 +126,21 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
         if base is None:
             continue
         base_rate = base.get("ops_per_sec", 0.0)
-        if base_rate <= 0:
-            continue
-        floor = base_rate * (1.0 - tolerance)
-        rate = work.get("ops_per_sec", 0.0)
-        if rate < floor:
-            failures.append(
-                f"{work['name']}: {rate:.1f} ops/s is more than "
-                f"{tolerance:.0%} below baseline {base_rate:.1f} ops/s")
+        if base_rate > 0:
+            floor = base_rate * (1.0 - tolerance)
+            rate = work.get("ops_per_sec", 0.0)
+            if rate < floor:
+                failures.append(
+                    f"{work['name']}: {rate:.1f} ops/s is more than "
+                    f"{tolerance:.0%} below baseline {base_rate:.1f} ops/s")
+        # Deterministic digests must match exactly: a changed replay
+        # order or event stream is a behavioural break, not noise.
+        for key in ("replay_digest", "event_digest"):
+            if key in base and key in work and work[key] != base[key]:
+                failures.append(
+                    f"{work['name']}: {key} changed "
+                    f"({base[key]} -> {work[key]}) — deterministic "
+                    f"behaviour diverged from the committed baseline")
     return failures
 
 
@@ -167,7 +174,15 @@ def main(seed: int, smoke: bool, output: Optional[str],
          tolerance: float = DEFAULT_TOLERANCE,
          parallel: Optional[int] = None) -> int:
     """CLI entry point shared by ``python -m repro perf``. Returns an
-    exit code: 0 on success, 1 on regression vs the compare baseline."""
+    exit code: 0 on success, 1 on regression vs the compare baseline,
+    2 for an unknown ``--workload`` name."""
+    if only:
+        unknown = [n for n in only if n not in WORKLOADS]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"available: {', '.join(WORKLOADS)}", file=sys.stderr)
+            return 2
     report = run_suite(seed=seed, smoke=smoke, only=only, parallel=parallel)
     print(format_report(report))
     if output:

@@ -305,6 +305,286 @@ def recorder_pipeline(seed: int, smoke: bool) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# recorder store scaling: segmented log vs the naive flat reference
+# ----------------------------------------------------------------------
+
+#: (processes, messages per process) grid points
+_RECORDER_GRID_FULL = ((4, 300), (8, 600), (16, 1200))
+_RECORDER_GRID_SMOKE = ((2, 150), (4, 400))
+
+#: checkpoints per process over the stream (the reclamation cadence)
+_RECORDER_CKPTS = 10
+
+#: post-drain catch-up replay sweeps (a recovery re-walks the log as it
+#: catches up with live traffic; see recovery_manager)
+_RECORDER_CATCHUP_ROUNDS = 3
+
+
+def _recorder_script(seed: int, processes: int,
+                     messages: int) -> List[Tuple[Any, ...]]:
+    """A seeded recorder operation script: per-process arrivals,
+    advisories generated against a model queue (so they always match
+    the log), cumulative checkpoints, and replay query points. The same
+    script drives the segmented store and the flat reference."""
+    from repro.demos.ids import MessageId, ProcessId
+
+    rng = random.Random(seed)
+    script: List[Tuple[Any, ...]] = []
+    queues: List[List[Any]] = [[] for _ in range(processes)]
+    consumed = [0] * processes
+    controls = [0] * processes
+    sent = [0] * processes
+    arrived = [0] * processes
+    ckpt_every = max(1, messages // _RECORDER_CKPTS)
+    srcs = [ProcessId(1, 100 + p) for p in range(processes)]
+    live = list(range(processes))
+    while live:
+        p = live[rng.randrange(len(live))]
+        if arrived[p] < messages and (rng.random() < 0.55 or not queues[p]):
+            # one arrival: mostly queue messages, a few controls
+            sent[p] += 1
+            arrived[p] += 1
+            is_control = rng.random() < 0.05
+            msg_id = MessageId(srcs[p], sent[p])
+            script.append(("msg", p, msg_id,
+                           rng.choice((128, 128, 256, 1024)), is_control))
+            if is_control:
+                controls[p] += 1
+            else:
+                queues[p].append(msg_id)
+        elif queues[p]:
+            # one consumption, out of order (advisory) one time in four
+            queue = queues[p]
+            if len(queue) >= 2 and rng.random() < 0.25:
+                j = rng.randrange(1, min(len(queue), 5))
+                script.append(("adv", p, queue[j], queue[0]))
+                del queue[j]
+            else:
+                del queue[0]
+            consumed[p] += 1
+            if consumed[p] % ckpt_every == 0:
+                script.append(("ckpt", p, consumed[p], controls[p]))
+                script.append(("query", p, consumed[p]))
+        if arrived[p] >= messages and not queues[p]:
+            # the process drained: a final checkpoint covers everything
+            # consumed, then the catch-up sweeps a recovery would run
+            script.append(("ckpt", p, consumed[p], controls[p]))
+            for _ in range(_RECORDER_CATCHUP_ROUNDS):
+                script.append(("query", p, consumed[p]))
+            live.remove(p)
+    return script
+
+
+def _digest_queries(digest: int, replay, ids) -> int:
+    """Fold one query point's results into an order-sensitive digest.
+    ``replay`` is the replay list (order matters), ``ids`` the consumed
+    set (folded in sorted order)."""
+    for lm in replay:
+        pid, seq = tuple(lm.message.msg_id)
+        digest = (digest * 1000003 + pid[0] * 131 + pid[1] * 31 + seq) % _HASH_MOD
+    digest = (digest * 1000003 + 0x9E37) % _HASH_MOD
+    for pid, seq in sorted(tuple(m) for m in ids):
+        digest = (digest * 1000003 + pid[0] * 131 + pid[1] * 31 + seq) % _HASH_MOD
+    return digest
+
+
+def _drive_segmented(script: List[Tuple[Any, ...]],
+                     processes: int) -> Dict[str, Any]:
+    """Replay the script through the log-structured store; returns
+    timing, the replay digest, and per-query latencies."""
+    from repro.demos.ids import ProcessId
+    from repro.demos.messages import Message
+    from repro.publishing.database import CheckpointEntry, RecorderDatabase
+    from repro.publishing.store import SegmentedLog
+
+    db = RecorderDatabase(SegmentedLog(64))
+    records = [db.create(ProcessId(2, p + 1), node=2, image="bench")
+               for p in range(processes)]
+    digest = 0
+    invalidated = 0
+    replay_wall_s = 0.0
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for op in script:
+        kind, p = op[0], op[1]
+        record = records[p]
+        if kind == "msg":
+            _, _, msg_id, size, is_control = op
+            message = Message(msg_id=msg_id, src=msg_id.sender,
+                              dst=record.pid, channel=1, code=0, body=None,
+                              size_bytes=size, deliver_to_kernel=is_control)
+            record.record_message(message, db.allocate_arrival_index())
+        elif kind == "adv":
+            record.add_advisory(op[2], op[3])
+        elif kind == "ckpt":
+            invalidated += record.apply_checkpoint(CheckpointEntry(
+                data=None, consumed=op[2], dtk_processed=op[3],
+                send_seq=0, pages=1, stored_at=0.0))
+        else:   # query: the replay path being optimized
+            t0 = time.perf_counter()
+            replay = record.messages_to_replay()
+            dt = time.perf_counter() - t0
+            replay_wall_s += dt
+            latencies.append(dt * 1000.0)
+            digest = _digest_queries(digest, replay,
+                                     record.consumed_ids(op[2]))
+    wall_s = time.perf_counter() - start
+    return {"wall_s": wall_s, "replay_wall_s": replay_wall_s,
+            "digest": digest, "invalidated": invalidated,
+            "latencies": latencies, "log_bytes": db.log.log_bytes,
+            "live_bytes": db.log.live_bytes,
+            "compactions": db.log.compactions,
+            "segments_retired": db.log.segments_retired,
+            "segments": db.log.segments}
+
+
+def _drive_flat(script: List[Tuple[Any, ...]],
+                processes: int) -> Dict[str, Any]:
+    """Replay the same script through the naive flat-list reference."""
+    from repro.demos.ids import ProcessId
+    from repro.demos.messages import Message
+    from repro.perf.baseline import FlatProcessLog
+
+    logs = [FlatProcessLog() for _ in range(processes)]
+    dsts = [ProcessId(2, p + 1) for p in range(processes)]
+    digest = 0
+    invalidated = 0
+    next_arrival = 0
+    replay_wall_s = 0.0
+    start = time.perf_counter()
+    for op in script:
+        kind, p = op[0], op[1]
+        log = logs[p]
+        if kind == "msg":
+            _, _, msg_id, size, is_control = op
+            message = Message(msg_id=msg_id, src=msg_id.sender,
+                              dst=dsts[p], channel=1, code=0, body=None,
+                              size_bytes=size, deliver_to_kernel=is_control)
+            log.record_message(message, next_arrival)
+            next_arrival += 1
+        elif kind == "adv":
+            log.add_advisory(op[2], op[3])
+        elif kind == "ckpt":
+            invalidated += log.apply_checkpoint(op[2], op[3])
+        else:
+            t0 = time.perf_counter()
+            replay = log.messages_to_replay()
+            replay_wall_s += time.perf_counter() - t0
+            digest = _digest_queries(digest, replay, log.consumed_ids(op[2]))
+    wall_s = time.perf_counter() - start
+    return {"wall_s": wall_s, "replay_wall_s": replay_wall_s,
+            "digest": digest, "invalidated": invalidated}
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _page_buffer_contrast(sizes: List[int]) -> Dict[str, Any]:
+    """The §5.1 batching contrast on the engine wheel: the same message
+    byte stream through per-message writes, fill-triggered group commit,
+    and group commit with a flush deadline. Deterministic: supplies the
+    workload's ``events``/``sim_ms`` facts."""
+    from repro.publishing.disk import DiskArray, PageBuffer
+
+    out: Dict[str, Any] = {}
+    events = 0
+    sim_ms = 0.0
+    for mode, buffered, deadline in (("unbatched", False, None),
+                                     ("batched", True, None),
+                                     ("batched_deadline", True, 5.0)):
+        engine = Engine()
+        disks = DiskArray(engine, 1)
+        buffer = PageBuffer(disks, buffered=buffered,
+                            flush_deadline_ms=deadline)
+        at = 0.0
+        for size in sizes:
+            at += 0.7
+            engine.schedule(at, buffer.add, size)
+        engine.run()
+        buffer.flush()
+        events += engine.events_fired
+        sim_ms = max(sim_ms, engine.now)
+        out[mode] = {
+            "disk_writes": disks.writes,
+            "disk_reads": disks.reads,
+            "pages_flushed": buffer.pages_flushed,
+            "deadline_flushes": buffer.deadline_flushes,
+        }
+    out["events"] = events
+    out["sim_ms"] = sim_ms
+    return out
+
+
+def recorder_scaling(seed: int, smoke: bool) -> Dict[str, Any]:
+    """The log-structured recorder store against the naive flat-list
+    reference over a processes × message-rate grid, plus the batched vs
+    unbatched disk-path contrast. Doubles as a differential check: both
+    stores must produce the identical replay order and consumed-id sets
+    at every query point, folded into ``replay_digest``."""
+    grid = _RECORDER_GRID_SMOKE if smoke else _RECORDER_GRID_FULL
+    grid_out: Dict[str, Dict[str, Any]] = {}
+    total_messages = 0
+    seg_wall_s = 0.0
+    digest = 0
+    latencies: List[float] = []
+    speedup = 0.0
+    for processes, messages in grid:
+        script = _recorder_script(seed + processes, processes, messages)
+        seg = _drive_segmented(script, processes)
+        flat = _drive_flat(script, processes)
+        if seg["digest"] != flat["digest"]:
+            raise PerfDivergence(
+                f"recorder_scaling[{processes}x{messages}]: segmented and "
+                f"flat stores diverged: {seg['digest']} != {flat['digest']}")
+        if seg["invalidated"] != flat["invalidated"]:
+            raise PerfDivergence(
+                f"recorder_scaling[{processes}x{messages}]: checkpoint "
+                f"invalidation diverged: {seg['invalidated']} != "
+                f"{flat['invalidated']}")
+        total_messages += processes * messages
+        seg_wall_s += seg["wall_s"]
+        digest = (digest * 1000003 + seg["digest"]) % _HASH_MOD
+        latencies = seg["latencies"]        # keep the largest grid point's
+        speedup = ((flat["replay_wall_s"] / seg["replay_wall_s"])
+                   if seg["replay_wall_s"] else 0.0)
+        grid_out[f"{processes}x{messages}"] = {
+            "wall_ms": round(seg["wall_s"] * 1000.0, 3),
+            "flat_wall_ms": round(flat["wall_s"] * 1000.0, 3),
+            "replay_wall_ms": round(seg["replay_wall_s"] * 1000.0, 3),
+            "flat_replay_wall_ms": round(flat["replay_wall_s"] * 1000.0, 3),
+            "replay_speedup_vs_flat": round(speedup, 3),
+            "log_bytes": seg["log_bytes"],
+            "live_bytes": seg["live_bytes"],
+            "compactions": seg["compactions"],
+            "segments_retired": seg["segments_retired"],
+            "segments": seg["segments"],
+        }
+    rng = random.Random(seed ^ 0x5D15)
+    contrast = _page_buffer_contrast(
+        [rng.choice((128, 128, 256, 1024)) for _ in range(512)])
+    events = contrast.pop("events")
+    sim_ms = contrast.pop("sim_ms")
+    latencies.sort()
+    return {
+        "ops": total_messages,
+        "events": events,
+        "sim_ms": round(sim_ms, 6),
+        "wall_ms": seg_wall_s * 1000.0,
+        "grid": grid_out,
+        "page_buffer": contrast,
+        "replay_digest": digest,
+        "speedup_vs_baseline": speedup,    # largest grid point, vs flat
+        "replay_p50_ms": round(_percentile(latencies, 0.50), 4),
+        "replay_p90_ms": round(_percentile(latencies, 0.90), 4),
+        "replay_p99_ms": round(_percentile(latencies, 0.99), 4),
+    }
+
+
+# ----------------------------------------------------------------------
 # chaos campaign
 # ----------------------------------------------------------------------
 def chaos_campaign(seed: int, smoke: bool) -> Dict[str, Any]:
@@ -409,6 +689,7 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "storm_acking": storm_acking,
     "storm_token_ring": storm_token_ring,
     "recorder_pipeline": recorder_pipeline,
+    "recorder_scaling": recorder_scaling,
     "chaos_campaign": chaos_campaign,
     "sweep_scaling": sweep_scaling,
 }

@@ -23,6 +23,15 @@ Two reconstruction problems are solved here:
   process-control (DELIVERTOKERNEL) messages interleaved at their
   arrival positions (§4.4.3: "their ordering is preserved with respect
   to all other messages").
+
+Storage is the log-structured engine of :mod:`repro.publishing.store`:
+all processes' records append into one shared
+:class:`~repro.publishing.store.SegmentedLog`; each
+:class:`ProcessRecord` keeps a per-process index (the sequence numbers
+of its records, with sparse ``(arrival_index, position)`` anchors) so
+:meth:`messages_to_replay` and :meth:`consumed_ids` cost O(records
+replayed), and checkpoint invalidation drives segment retirement and
+the §4.5 compaction pass instead of holding dead records forever.
 """
 
 from __future__ import annotations
@@ -35,15 +44,42 @@ from repro.demos.ids import MessageId, ProcessId
 from repro.demos.links import Link
 from repro.demos.messages import Message
 from repro.errors import RecorderError
+from repro.publishing.store import ANCHOR_EVERY, ReplayCursor, SegmentedLog
 
 
-@dataclass
 class LoggedMessage:
-    """One published message in a process's stream."""
+    """One published message in a process's stream.
 
-    message: Message
-    arrival_index: int
-    invalid: bool = False
+    Lives inside a :class:`~repro.publishing.store.SegmentedLog`
+    segment; flipping :attr:`invalid` routes through the owning record
+    so live-byte accounting and segment GC stay exact no matter who
+    performs the invalidation.
+    """
+
+    __slots__ = ("message", "arrival_index", "_invalid", "seq", "_record")
+
+    def __init__(self, message: Message, arrival_index: int,
+                 invalid: bool = False):
+        self.message = message
+        self.arrival_index = arrival_index
+        self._invalid = invalid
+        self.seq = -1
+        self._record: Optional["ProcessRecord"] = None
+
+    @property
+    def invalid(self) -> bool:
+        return self._invalid
+
+    @invalid.setter
+    def invalid(self, value: bool) -> None:
+        if value == self._invalid:
+            return
+        if not value:
+            raise RecorderError(
+                "a published record cannot be re-validated once invalid")
+        self._invalid = True
+        if self._record is not None:
+            self._record._note_invalidated(self)
 
     @property
     def is_control(self) -> bool:
@@ -53,6 +89,10 @@ class LoggedMessage:
     @property
     def is_marker(self) -> bool:
         return self.message.recovery_marker
+
+    def __repr__(self) -> str:    # pragma: no cover - debugging aid
+        return (f"LoggedMessage({self.message!r}, {self.arrival_index}, "
+                f"invalid={self._invalid})")
 
 
 @dataclass
@@ -79,7 +119,6 @@ class ProcessRecord:
     recoverable: bool = True
     state_pages: int = 4
     last_sent_seq: int = 0
-    arrivals: List[LoggedMessage] = field(default_factory=list)
     recorded_ids: Set[MessageId] = field(default_factory=set)
     #: messages overheard and durably stored but whose delivery to the
     #: destination node has not yet been observed (§4.4.1 ack tracing)
@@ -96,32 +135,82 @@ class ProcessRecord:
     recovering: bool = False
     recovery_epoch: int = 0    # bumped to cancel a superseded recovery (§3.5)
     destroyed: bool = False
+    #: the shared segmented log this record's messages append into; a
+    #: standalone record (unit tests) lazily creates a private one
+    log: Optional[SegmentedLog] = field(default=None, repr=False, compare=False)
+
+    # -- per-process index over the shared log -------------------------
+    # `_seqs` holds the log sequence numbers of this process's records
+    # in arrival order (append-only), `_anchors` a sparse
+    # (arrival_index, position) pair every ANCHOR_EVERY records for
+    # seek-by-arrival-index, `_live_bytes` the O(1) storage accounting,
+    # and `_valid_cursor` the first-maybe-valid position — checkpoints
+    # invalidate (mostly) prefixes and validity only ever goes
+    # valid→invalid, so it advances monotonically and never rescans.
+    _seqs: List[int] = field(default_factory=list, init=False, repr=False,
+                             compare=False)
+    _anchors: List[Tuple[int, int]] = field(default_factory=list, init=False,
+                                            repr=False, compare=False)
+    _live_bytes: int = field(default=0, init=False, repr=False, compare=False)
+    _valid_cursor: int = field(default=0, init=False, repr=False,
+                               compare=False)
+    # -- the pruned replay view ----------------------------------------
+    # `_live` is the per-process index's own compaction: an
+    # arrival-ordered list of this process's records that drops dead
+    # entries wholesale once half the list is invalid (`_live_dead`
+    # counts them). `messages_to_replay` is then a single pass over
+    # ~live records, and pruning un-pins compacted records' memory.
+    _live: List[LoggedMessage] = field(default_factory=list, init=False,
+                                       repr=False, compare=False)
+    _live_dead: int = field(default=0, init=False, repr=False, compare=False)
 
     # -- incremental queue re-simulation (see consumed_ids) ------------
-    # Arrivals are append-only and checkpoint consumed-counts are
-    # cumulative, so the queue simulation never needs to restart: these
-    # carry it between calls. `_sim_queue` holds the not-yet-consumed
-    # queue messages, `_sim_fed` how many arrivals have been fed in,
-    # `_sim_adv_cursor` the next advisory, and `_sim_consumed` the
-    # consumption sequence established so far (its prefixes answer any
-    # earlier consumed-count). The `_ckpt_*` cursors remember how far
-    # checkpoints have invalidated, `_valid_cursor` skips the invalid
-    # prefix for the §4.5 "first valid message" scans.
+    # New arrivals route eagerly: queue messages into `_sim_queue`,
+    # DELIVERTOKERNEL controls into `_controls` (tagged with their
+    # control ordinal), markers into neither. The consumption order
+    # already established never changes (arrivals only append, advisory
+    # counts only grow), so `_consumed_ids` accumulates it permanently
+    # while `_consumed_tail` keeps (ordinal, record) pairs only until a
+    # checkpoint invalidates them — after which the records themselves
+    # may be compacted away without this record pinning their memory.
     _sim_queue: Deque[LoggedMessage] = field(
         default_factory=deque, init=False, repr=False, compare=False)
-    _sim_fed: int = field(default=0, init=False, repr=False, compare=False)
     _sim_adv_cursor: int = field(default=0, init=False, repr=False,
                                  compare=False)
-    _sim_consumed: List[LoggedMessage] = field(
-        default_factory=list, init=False, repr=False, compare=False)
-    _controls: List[LoggedMessage] = field(
-        default_factory=list, init=False, repr=False, compare=False)
+    _consumed_ids: List[MessageId] = field(default_factory=list, init=False,
+                                           repr=False, compare=False)
+    _consumed_tail: Deque[Tuple[int, LoggedMessage]] = field(
+        default_factory=deque, init=False, repr=False, compare=False)
+    _controls: Deque[Tuple[int, LoggedMessage]] = field(
+        default_factory=deque, init=False, repr=False, compare=False)
+    _controls_seen: int = field(default=0, init=False, repr=False,
+                                compare=False)
     _ckpt_consumed_done: int = field(default=0, init=False, repr=False,
                                      compare=False)
     _ckpt_ctrl_done: int = field(default=0, init=False, repr=False,
                                  compare=False)
-    _valid_cursor: int = field(default=0, init=False, repr=False,
-                               compare=False)
+
+    def __post_init__(self) -> None:
+        if self.log is None:
+            self.log = SegmentedLog()
+
+    # ------------------------------------------------------------------
+    @property
+    def arrivals(self) -> List[LoggedMessage]:
+        """The surviving records of this process, in arrival order.
+
+        A materialised view over the segmented log: records dropped by
+        compaction (necessarily invalid) no longer appear. Mutating a
+        returned record's ``invalid`` flag feeds back into the store's
+        accounting — the flag is a property routed through the log.
+        """
+        log = self.log
+        out = []
+        for seq in self._seqs:
+            lm = log.get(seq)
+            if lm is not None:
+                out.append(lm)
+        return out
 
     # ------------------------------------------------------------------
     def record_message(self, message: Message, arrival_index: int) -> bool:
@@ -129,7 +218,22 @@ class ProcessRecord:
         if message.msg_id in self.recorded_ids:
             return False
         self.recorded_ids.add(message.msg_id)
-        self.arrivals.append(LoggedMessage(message, arrival_index))
+        lm = LoggedMessage(message, arrival_index)
+        lm._record = self
+        lm.seq = self.log.append(lm)
+        if len(self._seqs) % ANCHOR_EVERY == 0:
+            self._anchors.append((arrival_index, len(self._seqs)))
+        self._seqs.append(lm.seq)
+        self._live.append(lm)
+        self._live_bytes += message.size_bytes
+        # Route into the queue re-simulation eagerly (same order the
+        # lazy feed used to establish): controls and markers never
+        # enter the queue.
+        if lm.is_control:
+            self._controls.append((self._controls_seen, lm))
+            self._controls_seen += 1
+        elif not lm.is_marker:
+            self._sim_queue.append(lm)
         return True
 
     def note_sent(self, seq: int) -> None:
@@ -164,28 +268,42 @@ class ProcessRecord:
         self.advisories.append((read_id, head_id))
 
     # ------------------------------------------------------------------
+    def _note_invalidated(self, lm: LoggedMessage) -> None:
+        """A record went valid→invalid (checkpoint coverage, process
+        destruction, or a direct flip): keep the O(1) byte accounting
+        and the segment GC in step, and prune the replay view once half
+        of it is dead (amortized O(1) per invalidation)."""
+        self._live_bytes -= lm.message.size_bytes
+        self.log.invalidate(lm.seq, lm.message.size_bytes)
+        self._live_dead += 1
+        live = self._live
+        if self._live_dead * 2 >= len(live) and len(live) >= 16:
+            self._live = [rec for rec in live if not rec._invalid]
+            self._live_dead = 0
+
+    def invalidate_all(self) -> int:
+        """Invalidate every surviving record — "when the process is
+        terminated, all messages queued for it are also discarded".
+        Returns how many records were newly invalidated."""
+        count = 0
+        for lm in list(self._live):     # pruning may rebind _live mid-walk
+            if not lm.invalid:
+                lm.invalid = True
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
     def _advance_simulation(self, target: int) -> None:
         """Push the queue re-simulation until ``target`` consumptions are
         known (or the queue runs dry). A mismatched advisory raises
         without advancing its cursor, so the error repeats on retry —
         and resolves if the missing message arrives later."""
-        arrivals = self.arrivals
         queue = self._sim_queue
-        controls = self._controls
-        fed = self._sim_fed
-        n = len(arrivals)
-        while fed < n:
-            lm = arrivals[fed]
-            fed += 1
-            if lm.is_control:
-                controls.append(lm)
-            elif not lm.is_marker:
-                queue.append(lm)
-        self._sim_fed = fed
-        consumed = self._sim_consumed
+        consumed_ids = self._consumed_ids
+        tail = self._consumed_tail
         advisories = self.advisories
         cursor = self._sim_adv_cursor
-        while len(consumed) < target and queue:
+        while len(consumed_ids) < target and queue:
             if (cursor < len(advisories)
                     and advisories[cursor][1] == queue[0].message.msg_id):
                 read_id = advisories[cursor][0]
@@ -198,9 +316,10 @@ class ProcessRecord:
                         f"advisory for {read_id} does not match the log of {self.pid}")
                 cursor += 1
                 self._sim_adv_cursor = cursor
-                consumed.append(lm)
             else:
-                consumed.append(queue.popleft())
+                lm = queue.popleft()
+            tail.append((len(consumed_ids), lm))
+            consumed_ids.append(lm.message.msg_id)
 
     def consumed_ids(self, consumed_count: int) -> Set[MessageId]:
         """Re-simulate the process's queue to find which of the recorded
@@ -212,8 +331,7 @@ class ProcessRecord:
         replaying from process creation.
         """
         self._advance_simulation(consumed_count)
-        return {lm.message.msg_id
-                for lm in self._sim_consumed[:consumed_count]}
+        return set(self._consumed_ids[:consumed_count])
 
     def apply_checkpoint(self, entry: CheckpointEntry) -> int:
         """Install a new checkpoint and invalidate the messages its state
@@ -222,19 +340,29 @@ class ProcessRecord:
         and messages can be discarded" (§3.3.1).
 
         Checkpoint consumed/control counts are cumulative, so each pass
-        only walks the newly covered consumptions, not the whole log.
+        only walks the newly covered consumptions, not the whole log —
+        and invalidation feeds the segment GC, which retires fully-dead
+        segments and compacts mostly-dead ones (§4.5).
         """
         self.checkpoint = entry
         self._advance_simulation(entry.consumed)
         invalidated = 0
         start = self._ckpt_consumed_done
-        for lm in self._sim_consumed[start:entry.consumed]:
+        tail = self._consumed_tail
+        while tail and tail[0][0] < entry.consumed:
+            ordinal, lm = tail.popleft()
+            if ordinal < start:
+                continue      # covered by an earlier (larger) checkpoint
             if not lm.invalid:
                 lm.invalid = True
                 invalidated += 1
         self._ckpt_consumed_done = max(start, entry.consumed)
         start = self._ckpt_ctrl_done
-        for lm in self._controls[start:entry.dtk_processed]:
+        controls = self._controls
+        while controls and controls[0][0] < entry.dtk_processed:
+            ordinal, lm = controls.popleft()
+            if ordinal < start:
+                continue
             if not lm.invalid:
                 lm.invalid = True
                 invalidated += 1
@@ -245,44 +373,75 @@ class ProcessRecord:
 
     # ------------------------------------------------------------------
     def _skip_invalid_prefix(self) -> int:
-        """Index of the first non-invalid arrival. Checkpoints invalidate
-        (mostly) prefixes and validity only ever goes valid→invalid, so
-        the cursor advances monotonically and never rescans the front."""
-        arrivals = self.arrivals
+        """Position (into the per-process index) of the first surviving,
+        non-invalid record. Checkpoints invalidate (mostly) prefixes and
+        validity only ever goes valid→invalid, so the cursor advances
+        monotonically and never rescans the front."""
+        seqs = self._seqs
+        log_get = self.log.get
         i = self._valid_cursor
-        n = len(arrivals)
-        while i < n and arrivals[i].invalid:
+        n = len(seqs)
+        while i < n:
+            lm = log_get(seqs[i])
+            if lm is not None and not lm._invalid:
+                break
             i += 1
         self._valid_cursor = i
         return i
 
-    def replay_stream(self) -> List[LoggedMessage]:
+    def replay_cursor(self) -> ReplayCursor:
+        """A cursor over the records to inspect for replay, starting at
+        the first valid one — the §4.7 recovery loop walks this instead
+        of rescanning the log from position zero, and can keep calling
+        ``next()`` as fresh arrivals append during catch-up."""
+        return ReplayCursor(self, self._skip_invalid_prefix())
+
+    def cursor_at_arrival(self, arrival_index: int) -> ReplayCursor:
+        """A cursor positioned at the first record whose arrival index
+        is ≥ ``arrival_index``, found through the sparse per-process
+        index — the "(process, arrival_index)" seek path."""
+        anchors = self._anchors
+        lo, hi = 0, len(anchors)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if anchors[mid][0] < arrival_index:
+                lo = mid + 1
+            else:
+                hi = mid
+        pos = anchors[lo - 1][1] if lo else 0
+        seqs = self._seqs
+        log = self.log
+        n = len(seqs)
+        while pos < n:
+            lm = log.get(seqs[pos])
+            if lm is not None and lm.arrival_index >= arrival_index:
+                break
+            pos += 1
+        return ReplayCursor(self, pos)
+
+    def messages_to_replay(self) -> List[LoggedMessage]:
         """The valid messages to replay, in arrival order.
 
         Markers are included so the recovery process can find its own
-        hand-back marker; it skips any others.
+        hand-back marker; it skips any others. Costs O(records replayed):
+        one pass over the pruned replay view, which holds at most ~2x
+        the live records.
         """
-        arrivals = self.arrivals
-        start = self._skip_invalid_prefix()
-        return [lm for lm in arrivals[start:] if not lm.invalid]
+        return [lm for lm in self._live if not lm._invalid]
+
+    def replay_stream(self) -> List[LoggedMessage]:
+        """Compatibility alias for :meth:`messages_to_replay`."""
+        return self.messages_to_replay()
 
     def valid_message_bytes(self) -> int:
-        """Stored bytes still needed for recovery (storage accounting)."""
-        arrivals = self.arrivals
-        start = self._skip_invalid_prefix()
-        total = 0
-        for index in range(start, len(arrivals)):
-            lm = arrivals[index]
-            if not lm.invalid:
-                total += lm.message.size_bytes
-        return total
+        """Stored bytes still needed for recovery (storage accounting).
+        O(1): maintained at record/invalidate time."""
+        return self._live_bytes
 
     def first_valid_id(self) -> Optional[MessageId]:
         """'The id of the first valid message' (§4.5)."""
-        arrivals = self.arrivals
-        for index in range(self._skip_invalid_prefix(), len(arrivals)):
-            lm = arrivals[index]
-            if not lm.invalid and not lm.is_marker:
+        for lm in self._live:
+            if not lm._invalid and not lm.is_marker:
                 return lm.message.msg_id
         return None
 
@@ -293,12 +452,15 @@ class RecorderDatabase:
     "The process data base is just a summary of the information that
     appears on disk. If the recorder crashes, it is possible to rebuild
     the data base from the disk" (§4.5) — accordingly the database
-    object itself lives inside the recorder's stable storage.
+    object itself lives inside the recorder's stable storage. All
+    records share one :class:`SegmentedLog`, so the arrival numbering
+    doubles as the log's append order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, log: Optional[SegmentedLog] = None) -> None:
         self.records: Dict[ProcessId, ProcessRecord] = {}
         self.next_arrival_index = 0
+        self.log = log if log is not None else SegmentedLog()
 
     def create(self, pid: ProcessId, node: int, image: str, args: Tuple = (),
                initial_links: Tuple[Link, ...] = (), recoverable: bool = True,
@@ -309,7 +471,8 @@ class RecorderDatabase:
             return existing
         record = ProcessRecord(pid=pid, node=node, image=image, args=tuple(args),
                                initial_links=tuple(initial_links),
-                               recoverable=recoverable, state_pages=state_pages)
+                               recoverable=recoverable, state_pages=state_pages,
+                               log=self.log)
         self.records[pid] = record
         return record
 

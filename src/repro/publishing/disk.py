@@ -14,8 +14,8 @@ and the buffer is compacted."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.errors import StorageError
 from repro.sim.engine import Engine
@@ -35,7 +35,16 @@ class DiskParams:
 
 
 class DiskModel:
-    """One serialized disk with busy-time accounting."""
+    """One serialized disk with busy-time and stall-time accounting.
+
+    ``busy_ms`` counts only time the platter is actually servicing an
+    operation; ``stall_ms`` counts the wall-clock windows during which
+    the controller was frozen by :meth:`stall`, and ``stall_wait_ms``
+    the operation time spent queued behind those windows. The split
+    keeps :meth:`utilization` honest under chaos injection — a stalled
+    disk is *not* busy, it is stalled, and the two read differently on
+    the metrics spine.
+    """
 
     def __init__(self, engine: Engine, params: Optional[DiskParams] = None,
                  name: str = "disk0"):
@@ -53,13 +62,22 @@ class DiskModel:
         #: the stall lifts (a controller hiccup, a bus reset).
         self.slowdown = 1.0
         self.stalled_until = 0.0
+        #: total wall-clock time covered by stall windows
+        self.stall_ms = 0.0
+        #: operation start delay attributable to stalls (not to the
+        #: disk being genuinely busy with earlier operations)
+        self.stall_wait_ms = 0.0
 
     def stall(self, duration_ms: float) -> float:
         """Freeze the disk for ``duration_ms``; queued and newly
         submitted operations start only after the stall lifts. Returns
-        the time the stall ends."""
-        self.stalled_until = max(self.stalled_until,
-                                 self.engine.now + duration_ms)
+        the time the stall ends. Overlapping stalls extend the window,
+        and only the extension counts toward ``stall_ms``."""
+        end = self.engine.now + duration_ms
+        current = max(self.stalled_until, self.engine.now)
+        if end > current:
+            self.stall_ms += end - current
+            self.stalled_until = end
         return self.stalled_until
 
     def submit(self, op: str, size_bytes: int,
@@ -70,7 +88,12 @@ class DiskModel:
         if size_bytes <= 0:
             raise StorageError("disk operations must move at least one byte")
         duration = self.params.op_time_ms(size_bytes) * self.slowdown
-        start = max(self.engine.now, self._busy_until, self.stalled_until)
+        ready = max(self.engine.now, self._busy_until)
+        start = max(ready, self.stalled_until)
+        if start > ready:
+            # The stall, not earlier work, is what holds this op back:
+            # account the wait as stalled time, never as busy time.
+            self.stall_wait_ms += start - ready
         self._busy_until = start + duration
         self.busy_ms += duration
         if op == "read":
@@ -84,10 +107,17 @@ class DiskModel:
         return self._busy_until
 
     def utilization(self, elapsed_ms: float) -> float:
-        """Fraction of elapsed time the disk was busy."""
+        """Fraction of elapsed time the disk spent servicing operations
+        (stall windows excluded — see :meth:`stalled_fraction`)."""
         if elapsed_ms <= 0:
             return 0.0
         return min(1.0, self.busy_ms / elapsed_ms)
+
+    def stalled_fraction(self, elapsed_ms: float) -> float:
+        """Fraction of elapsed time covered by injected stall windows."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.stall_ms / elapsed_ms)
 
 
 class DiskArray:
@@ -129,6 +159,13 @@ class DiskArray:
             return 0.0
         return sum(d.utilization(elapsed_ms) for d in self.disks) / len(self.disks)
 
+    def stalled_fraction(self, elapsed_ms: float) -> float:
+        """Mean stalled fraction across the spindles."""
+        if not self.disks:
+            return 0.0
+        return sum(d.stalled_fraction(elapsed_ms)
+                   for d in self.disks) / len(self.disks)
+
     @property
     def writes(self) -> int:
         return sum(d.writes for d in self.disks)
@@ -141,28 +178,52 @@ class DiskArray:
     def bytes_written(self) -> int:
         return sum(d.bytes_written for d in self.disks)
 
+    @property
+    def busy_ms(self) -> float:
+        return sum(d.busy_ms for d in self.disks)
+
+    @property
+    def stall_ms(self) -> float:
+        return sum(d.stall_ms for d in self.disks)
+
+    @property
+    def stall_wait_ms(self) -> float:
+        return sum(d.stall_wait_ms for d in self.disks)
+
 
 class PageBuffer:
-    """The recorder's message write buffer (§4.5, §5.1).
+    """The recorder's group-commit message buffer (§4.5, §5.1).
 
-    In ``buffered`` mode, message bytes accumulate until a page
-    (4 KB) fills, then one write is issued; in per-message mode every
-    message costs a full disk operation. The §3.3.4 design puts this
-    buffer in battery-backed memory, so its contents survive recorder
-    crashes — callers need not flush on crash.
+    In ``buffered`` mode, staged bytes from *all* processes coalesce
+    into shared pages: a page write is issued when 4 KB fill, or — when
+    ``flush_deadline_ms`` is set — when the oldest staged byte has
+    waited that long, whichever comes first. One disk operation thus
+    absorbs many messages under load while the deadline bounds how long
+    a lone message can sit unflushed. In per-message mode every message
+    costs a full disk operation (the §5.1 saturation contrast).
+
+    The buffer is ordinary recorder memory, not battery-backed: a
+    recorder crash loses exactly the staged bytes that have not reached
+    a disk (:meth:`crash`), which is why callers treat disk completion —
+    not staging — as the durability point.
     """
 
     def __init__(self, disks: DiskArray, page_bytes: int = 4096,
-                 buffered: bool = True):
+                 buffered: bool = True,
+                 flush_deadline_ms: Optional[float] = None):
         self.disks = disks
         self.page_bytes = page_bytes
         self.buffered = buffered
+        self.flush_deadline_ms = flush_deadline_ms
         self._fill = 0
+        self._deadline_handle = None
         self.pages_flushed = 0
+        self.deadline_flushes = 0
         self.max_fill = 0
+        self.bytes_lost = 0
 
     def add(self, size_bytes: int) -> None:
-        """Account one recorded message and write when a page fills."""
+        """Stage one recorded message and write when a page fills."""
         if not self.buffered:
             self.disks.submit("write", size_bytes)
             return
@@ -175,6 +236,11 @@ class PageBuffer:
             self.disks.submit("write", self.page_bytes)
             self._fill -= self.page_bytes
             self.pages_flushed += 1
+        if self._fill == 0:
+            self._cancel_deadline()
+        elif self.flush_deadline_ms is not None and self._deadline_handle is None:
+            self._deadline_handle = self.disks.engine.schedule(
+                self.flush_deadline_ms, self._deadline_fire)
 
     def flush(self) -> None:
         """Force out a partial page (checkpoint barrier)."""
@@ -182,3 +248,24 @@ class PageBuffer:
             self.disks.submit("write", self._fill)
             self._fill = 0
             self.pages_flushed += 1
+        self._cancel_deadline()
+
+    def crash(self) -> int:
+        """The recorder died: staged bytes that never reached a disk
+        are gone. Returns how many were lost."""
+        lost = self._fill
+        self.bytes_lost += lost
+        self._fill = 0
+        self._cancel_deadline()
+        return lost
+
+    def _deadline_fire(self) -> None:
+        self._deadline_handle = None
+        if self._fill > 0:
+            self.deadline_flushes += 1
+            self.flush()
+
+    def _cancel_deadline(self) -> None:
+        if self._deadline_handle is not None:
+            self._deadline_handle.cancel()
+            self._deadline_handle = None

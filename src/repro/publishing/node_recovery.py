@@ -216,6 +216,7 @@ class NodeRecorder:
         self.events: List[ExtranodeEvent] = []
         self.ext_sends_seen = 0
         self.checkpoint: Optional[NodeCheckpoint] = None
+        self.events_pruned = 0
 
     def report_receipt(self, event: ExtranodeEvent) -> None:
         self.events.append(event)
@@ -224,7 +225,17 @@ class NodeRecorder:
         self.ext_sends_seen += 1
 
     def store_checkpoint(self, checkpoint: NodeCheckpoint) -> None:
+        """Install a checkpoint and discard the event history it covers —
+        recovery replays only events at or after the checkpoint's
+        instruction count, so anything earlier is dead weight (the same
+        "older checkpoints and messages can be discarded" rule the
+        message log applies, §3.3.1)."""
         self.checkpoint = checkpoint
+        if self.events:
+            kept = [e for e in self.events
+                    if e.instruction_count >= checkpoint.instruction_count]
+            self.events_pruned += len(self.events) - len(kept)
+            self.events = kept
 
     def recover(self, node: DeterministicNode) -> None:
         """Restore a crashed node from the stored checkpoint (or a fresh

@@ -44,6 +44,7 @@ from repro.obs import Observability
 from repro.publishing.database import CheckpointEntry, ProcessRecord, RecorderDatabase
 from repro.publishing.disk import DiskArray, DiskParams, PageBuffer
 from repro.publishing.stable_storage import StableStorage
+from repro.publishing.store import SegmentedLog
 from repro.sim.engine import Engine, Signal
 from repro.sim.trace import TraceLog
 
@@ -58,6 +59,11 @@ class RecorderConfig:
     disks: int = 1
     disk_params: DiskParams = field(default_factory=DiskParams)
     buffered_writes: bool = True
+    #: group commit: flush a partial page once its oldest staged byte
+    #: has waited this long (None = fill-triggered flushes only)
+    flush_deadline_ms: Optional[float] = None
+    #: records per segment of the log-structured store
+    segment_records: int = 64
     costs: CostModel = field(default_factory=CostModel)
     transport: TransportConfig = field(default_factory=TransportConfig)
     #: §6.6.1 — pids registered as unrecoverable are not published
@@ -93,16 +99,33 @@ class Recorder:
         self.stable = stable or StableStorage()
         db = self.stable.get("db")
         if db is None:
-            db = RecorderDatabase()
+            db = RecorderDatabase(SegmentedLog(self.config.segment_records))
             self.stable.put("db", db)
         self.db: RecorderDatabase = db
         self.disks = DiskArray(engine, self.config.disks, self.config.disk_params)
-        self.buffer = PageBuffer(self.disks, buffered=self.config.buffered_writes)
+        # Compaction passes charge their read/write traffic to this
+        # recorder's modeled disks (§4.5).
+        self.db.log.attach_io(self.disks.submit)
+        self.buffer = PageBuffer(self.disks, buffered=self.config.buffered_writes,
+                                 flush_deadline_ms=self.config.flush_deadline_ms)
         self.up = True
         registry = self.obs.registry
         self._cpu_busy_ms = registry.counter("recorder.cpu_busy_ms")
         self._messages_recorded = registry.counter("recorder.messages_recorded")
         self._duplicates_ignored = registry.counter("recorder.duplicates_ignored")
+        # Storage-engine gauges read through `self` so they survive a
+        # restart rebinding `self.db` to the stable-storage copy.
+        registry.gauge_fn("recorder.log_bytes", lambda: self.db.log.log_bytes)
+        registry.gauge_fn("recorder.live_bytes", lambda: self.db.log.live_bytes)
+        registry.gauge_fn("recorder.segments", lambda: self.db.log.segments)
+        registry.gauge_fn("recorder.compactions",
+                          lambda: self.db.log.compactions)
+        registry.gauge_fn("recorder.segments_retired",
+                          lambda: self.db.log.segments_retired)
+        registry.gauge_fn("recorder.disk_busy_ms", lambda: self.disks.busy_ms)
+        registry.gauge_fn("recorder.disk_stall_ms", lambda: self.disks.stall_ms)
+        registry.gauge_fn("recorder.disk_stall_wait_ms",
+                          lambda: self.disks.stall_wait_ms)
         self._control_handlers: Dict[str, Callable[[Control, int], None]] = {}
         self._arrival_signals: Dict[ProcessId, Signal] = {}
         self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
@@ -276,8 +299,7 @@ class Recorder:
         record.recovery_epoch += 1        # cancels any in-flight recovery
         # "When the process is terminated, all messages queued for it are
         # also discarded" — and so is its published history.
-        for lm in record.arrivals:
-            lm.invalid = True
+        record.invalidate_all()
         self.trace.emit("recorder", str(pid), event="destroyed_notice")
 
     def _on_checkpoint(self, control: Control, src_node: int) -> None:
@@ -358,13 +380,15 @@ class Recorder:
     # failure injection
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """The recorder fails. Stable storage (database, logs, buffer)
-        survives; everything volatile is lost and "all message traffic to
+        """The recorder fails. Stable storage (database, logs written to
+        disk) survives; everything volatile — including any partially
+        filled page buffer — is lost, and "all message traffic to
         processes must be suspended" — the medium stops acknowledging."""
         self.up = False
+        lost = self.buffer.crash()
         self.transport.crash()
         self._arrival_signals.clear()
-        self.trace.emit("crash", "recorder")
+        self.trace.emit("crash", "recorder", buffer_bytes_lost=lost)
 
     def restart(self) -> "int":
         """Power back up; returns the new restart number (§3.4). The
@@ -373,6 +397,7 @@ class Recorder:
         self.up = True
         self.transport.restart()
         self.db = self.stable.get("db")
+        self.db.log.attach_io(self.disks.submit)
         self.trace.emit("restart", "recorder", restart_number=restart_number)
         return restart_number
 

@@ -236,15 +236,18 @@ class RecoveryManager:
         }), size_bytes=max(64, (record.checkpoint.pages * 1024
                                 if record.checkpoint else 64)))
 
-        # 3-5. Stream the log; mark; catch up.
-        index = 0
+        # 3-5. Stream the log; mark; catch up. The cursor walks the
+        # per-process index from the first valid record — O(records
+        # replayed), not O(log length) — and keeps yielding fresh
+        # arrivals appended while this recovery catches up.
+        cursor = record.replay_cursor()
+        replayed = 0
         marker = None
         while True:
             if self._superseded(record, epoch):
                 return
-            if index < len(record.arrivals):
-                logged = record.arrivals[index]
-                index += 1
+            logged = cursor.next()
+            if logged is not None:
                 message = logged.message
                 if marker is not None and message.msg_id == marker.msg_id:
                     break              # our marker: fully caught up
@@ -259,6 +262,7 @@ class RecoveryManager:
                     "pid": tuple(pid), "message": message, "epoch": epoch,
                 }), size_bytes=message.size_bytes)
                 self.stats.messages_replayed += 1
+                replayed += 1
             else:
                 if marker is None:
                     marker = rec.make_marker(pid, epoch)
@@ -271,7 +275,7 @@ class RecoveryManager:
         record.node = node
         self.stats.recoveries_completed += 1
         self.trace.emit("recovery", str(pid), event="complete",
-                        replayed=index)
+                        replayed=replayed)
         signal = self._completion_signals.get(pid)
         if signal is not None:
             signal.fire(pid)

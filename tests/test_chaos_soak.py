@@ -18,6 +18,7 @@ from repro.chaos import (
     ChaosCampaign,
     CrashNode,
     CrashRecorder,
+    DiskStall,
     Partition,
     RestartRecorder,
     run_scenario,
@@ -117,6 +118,15 @@ CAMPAIGN_MATRIX = {
     "partition_heal": lambda: ChaosCampaign([
         Partition(1500.0, groups=((1,), (2, 3)), duration_ms=2200.0),
     ], name="partition_heal"),
+    # The disks freeze, the recorder dies mid-stall with a partial page
+    # staged in the group-commit buffer, then comes back: the lost
+    # staged bytes must not cost any replayable message (durability is
+    # at disk completion, the database itself is stable storage).
+    "disk_stall_recorder_crash": lambda: ChaosCampaign([
+        DiskStall(1000.0, duration_ms=2500.0),
+        CrashRecorder(2200.0),
+        RestartRecorder(4400.0),
+    ], name="disk_stall_recorder_crash"),
 }
 
 
@@ -136,6 +146,40 @@ def test_seeded_campaign_matrix(scenario):
     assert first.event_stream() == second.event_stream(), \
         f"{scenario}: replay diverged"
     assert first.report.to_dict() == second.report.to_dict()
+
+
+def test_recorder_crash_loses_exactly_the_staged_page_bytes():
+    """The group-commit buffer is not battery-backed: a recorder crash
+    loses precisely the staged bytes that never reached a disk — and
+    recovery still converges to the exact crash-free results, because
+    durability was always counted at disk completion."""
+    system, pairs = build()
+    system.run(700)
+    system.stall_disks(3000.0)          # freeze the spindles mid-traffic
+    system.run(200)
+    recorder = system.recorder
+    staged = recorder.buffer._fill
+    assert staged > 0                   # a partial page is in memory
+    lost_before = recorder.buffer.bytes_lost
+    system.crash_recorder()
+    assert recorder.buffer.bytes_lost - lost_before == staged
+    assert recorder.buffer._fill == 0
+    assert recorder.disks.stall_ms > 0  # the stall split saw the freeze
+    system.run(2500)
+    system.restart_recorder()
+
+    deadline = system.engine.now + 900_000
+    while system.engine.now < deadline:
+        if all(system.program_of(d) is not None
+               and len(system.program_of(d).replies) >= N
+               for _, d in pairs):
+            break
+        system.run(2000)
+    for index, (counter, driver) in enumerate(pairs):
+        assert system.program_of(driver).replies == expected_totals(N), \
+            f"pair {index}: client replies diverged"
+        assert system.program_of(counter).seen == list(range(1, N + 1)), \
+            f"pair {index}: server inputs diverged"
 
 
 def test_chaos_campaign_is_deterministic():

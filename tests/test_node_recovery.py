@@ -133,6 +133,41 @@ class TestNodeRecovery:
         with pytest.raises(RecoveryError):
             recorder.recover(node)
 
+    def test_checkpoint_prunes_covered_events(self):
+        """Storing a checkpoint discards the event history it covers
+        (§3.3.1) — and recovery from the pruned log still reproduces
+        the full post-checkpoint run."""
+        recorder = NodeRecorder()
+        ext_live = []
+
+        def on_ext(dst, payload):
+            ext_live.append((dst, payload))
+            recorder.note_ext_send()
+
+        node = build_node(on_ext=on_ext, report=recorder.report_receipt)
+        node.receive_extranode("a", ("token", []))
+        node.run()
+        covered = len(recorder.events)
+        assert covered > 0
+        checkpoint = node.checkpoint()
+        recorder.store_checkpoint(checkpoint)
+        assert recorder.events_pruned == covered
+        assert all(e.instruction_count >= checkpoint.instruction_count
+                   for e in recorder.events)
+        node.receive_extranode("b", ("token", ["pre"]))
+        node.run()
+        states_before = {n: dict(p.state) for n, p in node.processes.items()}
+        for proc in node.processes.values():
+            proc.state = {"name": proc.state.get("name", "?")}
+            proc.inbox.clear()
+        recorder.recover(node)
+        node.run()
+        assert {n: dict(p.state)
+                for n, p in node.processes.items()} == states_before
+        # a second checkpoint at the same point finds nothing new to prune
+        recorder.store_checkpoint(node.checkpoint())
+        assert recorder.events_pruned >= covered
+
     def test_extranode_injection_at_recorded_count(self):
         """Replayed extranode input enters exactly at its recorded
         instruction count, reproducing the original interleaving."""

@@ -148,7 +148,9 @@ def test_cli_writes_report_and_gates_regressions(tmp_path):
     argv = ["perf", "--smoke", "--seed", "7",
             "--workload", "engine_churn", "--workload", "storm_token_ring"]
     assert main(argv + ["--output", str(base)]) == 0
-    assert main(argv + ["--output", str(out),
+    # generous tolerance: this compares two live runs on a possibly
+    # loaded box, and only the gating logic is under test here
+    assert main(argv + ["--output", str(out), "--tolerance", "0.8",
                         "--compare", str(base)]) == 0
     report = json.loads(out.read_text())
     assert [w["name"] for w in report["workloads"]] == FAST
@@ -157,4 +159,14 @@ def test_cli_writes_report_and_gates_regressions(tmp_path):
     for work in poisoned["workloads"]:
         work["ops_per_sec"] *= 100.0
     base.write_text(json.dumps(poisoned))
-    assert main(argv + ["--output", "", "--compare", str(base)]) == 1
+    assert main(argv + ["--output", "", "--tolerance", "0.8",
+                        "--compare", str(base)]) == 1
+    # a digest mismatch is a behavioural break: gated at any tolerance
+    twisted = json.loads(base.read_text())
+    for work in twisted["workloads"]:
+        work["ops_per_sec"] /= 100.0          # rates back in line
+        if "event_digest" in work:
+            work["event_digest"] += 1
+    base.write_text(json.dumps(twisted))
+    assert main(argv + ["--output", "", "--tolerance", "0.8",
+                        "--compare", str(base)]) == 1

@@ -1,0 +1,419 @@
+"""Tests for the log-structured storage engine: segment lifecycle
+(retire vs compact), io cost accounting, replay cursors, the sparse
+arrival-index seek, group-commit deadlines and crash loss, the disk
+stall/busy split, and the recorder.* storage gauges.
+"""
+
+import pytest
+
+from repro.demos.ids import MessageId, ProcessId
+from repro.demos.messages import Message
+from repro.errors import RecorderError
+from repro.net.media import PerfectBroadcast
+from repro.publishing.database import (
+    CheckpointEntry,
+    LoggedMessage,
+    ProcessRecord,
+)
+from repro.publishing.disk import DiskArray, DiskModel, PageBuffer
+from repro.publishing.recorder import Recorder, RecorderConfig
+from repro.publishing.store import SegmentedLog
+from repro.sim.engine import Engine
+
+PID = ProcessId(2, 1)
+SENDER = ProcessId(1, 1)
+
+
+def make_message(seq, size=100, control=False, marker=False):
+    return Message(msg_id=MessageId(SENDER, seq), src=SENDER, dst=PID,
+                   channel=1, code=0, body=None, size_bytes=size,
+                   deliver_to_kernel=control, recovery_marker=marker)
+
+
+def make_logged(seq, size=100):
+    return LoggedMessage(make_message(seq, size=size), arrival_index=seq)
+
+
+def fill_log(log, count, size=100):
+    """Append ``count`` standalone records; returns them."""
+    records = []
+    for i in range(count):
+        lm = make_logged(i, size=size)
+        lm.seq = log.append(lm)
+        records.append(lm)
+    return records
+
+
+def kill(log, lm):
+    """Invalidate a standalone record (no owning ProcessRecord)."""
+    lm.invalid = True
+    log.invalidate(lm.seq, lm.message.size_bytes)
+
+
+class TestSegmentedLog:
+    def test_append_assigns_stable_sequential_seqs(self):
+        log = SegmentedLog(segment_records=4)
+        records = fill_log(log, 10)
+        assert [lm.seq for lm in records] == list(range(10))
+        assert log.segments == 3          # 4 + 4 + 2
+        assert all(log.get(lm.seq) is lm for lm in records)
+        assert log.get(99) is None
+
+    def test_accounting_tracks_appends_and_invalidations(self):
+        log = SegmentedLog(segment_records=8)
+        records = fill_log(log, 6, size=50)
+        assert log.live_records == 6
+        assert log.live_bytes == 300
+        assert log.log_bytes == 300
+        kill(log, records[0])
+        assert log.live_records == 5
+        assert log.live_bytes == 250
+        assert log.log_bytes == 300       # head segment: dead byte held
+
+    def test_fully_dead_sealed_segment_is_retired(self):
+        log = SegmentedLog(segment_records=4)
+        records = fill_log(log, 8)
+        for lm in records[:4]:             # kill the whole first segment
+            kill(log, lm)
+        assert log.segments_retired == 1
+        assert log.segments == 1           # only the second remains
+        assert all(log.get(lm.seq) is None for lm in records[:4])
+        assert all(log.get(lm.seq) is lm for lm in records[4:])
+
+    def test_head_segment_is_never_collected(self):
+        log = SegmentedLog(segment_records=8)
+        records = fill_log(log, 4)         # segment not yet sealed
+        for lm in records:
+            kill(log, lm)
+        assert log.segments == 1
+        assert log.segments_retired == 0
+        assert log.compactions == 0
+
+    def test_half_dead_sealed_segment_is_compacted_in_place(self):
+        log = SegmentedLog(segment_records=4)
+        records = fill_log(log, 5)         # seals the first segment
+        kill(log, records[0])
+        assert log.compactions == 0        # 3/4 live: above threshold
+        kill(log, records[1])
+        assert log.compactions == 1        # 2/4 live: §4.5 pass fires
+        # survivors stay addressable at their original seqs
+        assert log.get(records[2].seq) is records[2]
+        assert log.get(records[3].seq) is records[3]
+        assert log.get(records[0].seq) is None
+        assert log.log_bytes == 300        # 2 survivors + unsealed head
+
+    def test_invalidate_tolerates_compacted_records(self):
+        log = SegmentedLog(segment_records=4)
+        records = fill_log(log, 5)
+        kill(log, records[0])
+        kill(log, records[1])              # compaction drops both
+        before = (log.live_records, log.live_bytes)
+        log.invalidate(records[0].seq, records[0].message.size_bytes)
+        assert (log.live_records, log.live_bytes) == before
+
+    def test_compaction_charges_modeled_read_and_write(self):
+        ops = []
+        log = SegmentedLog(segment_records=4, io=lambda op, n: ops.append((op, n)))
+        records = fill_log(log, 5, size=100)
+        kill(log, records[0])
+        kill(log, records[1])
+        # §4.5: read the whole held segment in, write the live tail back
+        assert ops == [("read", 400), ("write", 200)]
+        assert log.compaction_read_bytes == 400
+        assert log.compaction_written_bytes == 200
+
+    def test_retirement_charges_only_the_read(self):
+        ops = []
+        log = SegmentedLog(segment_records=4, io=lambda op, n: ops.append((op, n)))
+        records = fill_log(log, 5, size=100)
+        for lm in records[:4]:
+            kill(log, lm)
+        # each kill that halves the live bytes triggers a compaction
+        # pass (read the held bytes, write the live tail); the last
+        # kill retires the segment — a read only, never a write
+        assert ops == [("read", 400), ("write", 200),
+                       ("read", 200), ("write", 100),
+                       ("read", 100)]
+        assert log.segments_retired == 1
+        assert log.compactions == 2
+
+    def test_rejects_degenerate_segment_size(self):
+        with pytest.raises(ValueError):
+            SegmentedLog(segment_records=0)
+
+
+def make_record(count=0, segment_records=4):
+    record = ProcessRecord(pid=PID, node=2, image="img",
+                           log=SegmentedLog(segment_records))
+    for i in range(count):
+        record.record_message(make_message(i + 1), i)
+    return record
+
+
+def ckpt(consumed, dtk=0):
+    return CheckpointEntry(data=None, consumed=consumed, dtk_processed=dtk,
+                           send_seq=0, pages=1, stored_at=0.0)
+
+
+class TestReplayCursor:
+    def test_walks_survivors_in_arrival_order(self):
+        record = make_record(10)
+        cursor = record.replay_cursor()
+        seen = [cursor.next().message.msg_id.seq for _ in range(10)]
+        assert seen == list(range(1, 11))
+        assert cursor.next() is None
+
+    def test_starts_past_the_invalid_prefix(self):
+        record = make_record(10)
+        record.apply_checkpoint(ckpt(4))
+        cursor = record.replay_cursor()
+        assert cursor.next().message.msg_id.seq == 5
+
+    def test_survives_appends_during_the_walk(self):
+        record = make_record(3)
+        cursor = record.replay_cursor()
+        assert cursor.next().message.msg_id.seq == 1
+        record.record_message(make_message(4), 3)
+        seen = []
+        while (lm := cursor.next()) is not None:
+            seen.append(lm.message.msg_id.seq)
+        assert seen == [2, 3, 4]
+
+    def test_survives_compaction_mid_walk(self):
+        record = make_record(12, segment_records=4)
+        cursor = record.replay_cursor()
+        assert cursor.next().message.msg_id.seq == 1
+        # checkpoint invalidates 1..8: two whole segments retire while
+        # the cursor is parked inside the first of them
+        record.apply_checkpoint(ckpt(8))
+        assert record.log.segments_retired == 2
+        seen = []
+        while (lm := cursor.next()) is not None:
+            seen.append(lm.message.msg_id.seq)
+        assert seen == [9, 10, 11, 12]
+
+    def test_cursor_at_arrival_uses_sparse_anchors(self):
+        record = make_record(100)
+        assert len(record._anchors) > 1     # sparse index actually built
+        cursor = record.cursor_at_arrival(57)
+        assert cursor.next().arrival_index == 57
+        assert record.cursor_at_arrival(0).next().arrival_index == 0
+        assert record.cursor_at_arrival(1000).next() is None
+
+
+class TestLoggedMessageInvalidation:
+    def test_revalidation_is_refused(self):
+        record = make_record(1)
+        lm = record.arrivals[0]
+        lm.invalid = True
+        with pytest.raises(RecorderError):
+            lm.invalid = False
+
+    def test_double_invalidation_is_idempotent(self):
+        record = make_record(2)
+        lm = record.arrivals[0]
+        lm.invalid = True
+        bytes_after = record.valid_message_bytes()
+        lm.invalid = True
+        assert record.valid_message_bytes() == bytes_after
+
+    def test_invalidate_all_reports_only_new_work(self):
+        record = make_record(5)
+        record.arrivals[0].invalid = True
+        assert record.invalidate_all() == 4
+        assert record.invalidate_all() == 0
+        assert record.messages_to_replay() == []
+        assert record.valid_message_bytes() == 0
+
+
+class TestLogBytesBound:
+    def test_ten_checkpoint_soak_keeps_log_within_twice_live(self):
+        """The acceptance bound: across a long record/checkpoint soak,
+        compaction holds the held bytes to ≤ 2x the live bytes plus the
+        unsealed head segment's slack."""
+        record = make_record(segment_records=8)
+        log = record.log
+        head_slack = 8 * 1024               # one unsealed segment, max size
+        arrival = 0
+        seq = 1
+        consumed = 0
+        for round_no in range(10):
+            for _ in range(120):
+                record.record_message(make_message(seq, size=64 + (seq % 5) * 240),
+                                      arrival)
+                seq += 1
+                arrival += 1
+            consumed += 100                  # leave a live tail each round
+            record.apply_checkpoint(ckpt(consumed))
+            assert log.log_bytes <= 2 * log.live_bytes + head_slack, \
+                f"round {round_no}: {log.log_bytes} > 2x{log.live_bytes}"
+        assert log.compactions + log.segments_retired > 0
+
+
+class TestDiskStallAccounting:
+    def test_stall_windows_count_wall_clock_once(self):
+        engine = Engine()
+        disk = DiskModel(engine)
+        disk.stall(10.0)
+        disk.stall(4.0)                      # inside the window: no-op
+        assert disk.stall_ms == 10.0
+        disk.stall(15.0)                     # extends by 5
+        assert disk.stall_ms == 15.0
+        assert disk.busy_ms == 0.0           # stalling is not service time
+
+    def test_stall_wait_is_not_busy_time(self):
+        engine = Engine()
+        disk = DiskModel(engine)
+        service = disk.params.op_time_ms(2000)
+        done_free = disk.submit("write", 2000)
+        assert disk.busy_ms == pytest.approx(service)
+        assert disk.stall_wait_ms == 0.0
+        # freeze the controller; the next op waits out the stall but its
+        # service time is unchanged
+        engine.run(until=done_free)
+        disk.stall(20.0)
+        done_stalled = disk.submit("write", 2000)
+        assert done_stalled == pytest.approx(engine.now + 20.0 + service)
+        assert disk.busy_ms == pytest.approx(2 * service)
+        assert disk.stall_wait_ms == pytest.approx(20.0)
+
+    def test_utilization_excludes_stall_and_stalled_fraction_reports_it(self):
+        engine = Engine()
+        disk = DiskModel(engine)
+        disk.submit("write", 2000)           # 3 + 1 = 4 ms service
+        disk.stall(16.0)
+        assert disk.utilization(40.0) == pytest.approx(0.1)
+        assert disk.stalled_fraction(40.0) == pytest.approx(0.4)
+
+    def test_array_aggregates_the_split(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=2)
+        disks.stall(10.0)
+        disks.submit("write", 2000)
+        assert disks.stall_ms == pytest.approx(20.0)   # both spindles
+        assert disks.stall_wait_ms == pytest.approx(10.0)
+        assert disks.busy_ms == pytest.approx(4.0)
+        assert disks.stalled_fraction(40.0) == pytest.approx(0.25)
+
+
+class TestPageBufferGroupCommit:
+    def test_deadline_flushes_a_lone_partial_page(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=1)
+        buffer = PageBuffer(disks, flush_deadline_ms=5.0)
+        buffer.add(600)
+        assert disks.writes == 0             # staged, not yet durable
+        engine.run(until=20.0)
+        assert buffer.deadline_flushes == 1
+        assert disks.writes == 1
+        assert disks.disks[0].bytes_written == 600
+
+    def test_draining_the_buffer_cancels_the_pending_deadline(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=1)
+        buffer = PageBuffer(disks, flush_deadline_ms=5.0)
+        buffer.add(600)
+        buffer.add(4096 - 600)               # completes the page exactly
+        engine.run(until=20.0)
+        assert buffer.pages_flushed == 1
+        assert buffer.deadline_flushes == 0  # nothing left to deadline
+        assert disks.writes == 1
+
+    def test_partial_remainder_keeps_the_deadline_armed(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=1)
+        buffer = PageBuffer(disks, flush_deadline_ms=5.0)
+        buffer.add(600)
+        buffer.add(4096)                     # one page out, 600 staged
+        engine.run(until=20.0)
+        assert buffer.deadline_flushes == 1  # remainder still flushes
+        assert buffer.pages_flushed == 2
+        assert buffer.bytes_lost == 0
+
+    def test_no_deadline_means_partial_pages_wait_for_flush(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=1)
+        buffer = PageBuffer(disks)
+        buffer.add(600)
+        engine.run(until=100.0)
+        assert disks.writes == 0
+        buffer.flush()
+        assert disks.writes == 1
+
+    def test_crash_loses_exactly_the_staged_fill(self):
+        engine = Engine()
+        disks = DiskArray(engine, count=1)
+        buffer = PageBuffer(disks, flush_deadline_ms=5.0)
+        buffer.add(4096 + 700)               # one page out, 700 staged
+        lost = buffer.crash()
+        assert lost == 700
+        assert buffer.bytes_lost == 700
+        engine.run(until=50.0)               # cancelled deadline stays dead
+        assert buffer.deadline_flushes == 0
+        assert buffer.crash() == 0           # nothing left to lose
+
+
+class TestRecorderStorageGauges:
+    GAUGES = (
+        "recorder.log_bytes", "recorder.live_bytes", "recorder.segments",
+        "recorder.compactions", "recorder.segments_retired",
+        "recorder.disk_busy_ms", "recorder.disk_stall_ms",
+        "recorder.disk_stall_wait_ms",
+    )
+
+    def test_gauges_track_the_storage_engine(self):
+        engine = Engine()
+        medium = PerfectBroadcast(engine)
+        recorder = Recorder(engine, medium,
+                            RecorderConfig(segment_records=4))
+        record = recorder.db.create(PID, node=2, image="img")
+        for i in range(6):
+            record.record_message(make_message(i + 1, size=200),
+                                  recorder.db.allocate_arrival_index())
+        snap = recorder.obs.registry.snapshot()
+        for name in self.GAUGES:
+            assert name in snap, name
+        assert snap["recorder.log_bytes"] == 1200
+        assert snap["recorder.live_bytes"] == 1200
+        assert snap["recorder.segments"] == 2
+        record.apply_checkpoint(ckpt(5))     # retires the first segment
+        snap = recorder.obs.registry.snapshot()
+        assert snap["recorder.segments_retired"] == 1
+        assert snap["recorder.live_bytes"] == 200
+        assert snap["recorder.disk_busy_ms"] > 0   # retirement read
+
+    def test_compaction_io_lands_on_the_recorder_disks(self):
+        engine = Engine()
+        medium = PerfectBroadcast(engine)
+        recorder = Recorder(engine, medium,
+                            RecorderConfig(segment_records=4))
+        record = recorder.db.create(PID, node=2, image="img")
+        for i in range(5):
+            record.record_message(make_message(i + 1, size=200),
+                                  recorder.db.allocate_arrival_index())
+        reads_before = recorder.disks.reads
+        record.apply_checkpoint(ckpt(2))     # half-dead: compaction pass
+        assert recorder.db.log.compactions == 1
+        assert recorder.disks.reads == reads_before + 1
+        # 2 of 4 sealed records died: 3 survivors total, 2 of them in
+        # the compacted segment — 400 bytes rewritten
+        assert recorder.db.log.compaction_written_bytes == 400
+
+
+class TestPerfCliWorkloadSelection:
+    def test_unknown_workload_exits_2_and_lists_available(self, capsys):
+        from repro.__main__ import main
+        assert main(["perf", "--smoke", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload(s): nope" in err
+        assert "recorder_scaling" in err      # the available list
+
+    def test_workload_selection_skips_default_baseline_write(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.__main__ import main
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "--smoke", "--seed", "7",
+                     "--workload", "engine_churn"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping default" in out
+        assert not (tmp_path / "BENCH_publishing.json").exists()
