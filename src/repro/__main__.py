@@ -366,6 +366,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_des(args: argparse.Namespace) -> int:
+    from repro.parallel.des import DesScenario, equivalence_report
+
+    scenario = DesScenario(clusters=args.clusters,
+                           cluster_size=args.cluster_size,
+                           messages=args.messages,
+                           duration_ms=args.duration,
+                           topology=args.topology,
+                           master_seed=args.seed)
+    counts = tuple(args.des_workers or [2])
+    report = equivalence_report(scenario, worker_counts=counts,
+                                include_staged=True,
+                                include_pooled=not args.no_pool)
+    ok = report["equivalent"] or not args.check
+    if args.json or args.output:
+        _write_or_print(json.dumps(report, indent=2, sort_keys=True),
+                        args.output)
+    if not args.json or args.output:
+        print(f"parallel DES: {scenario.clusters} clusters "
+              f"({scenario.topology}), {scenario.messages} msg/driver, "
+              f"{scenario.duration_ms:.0f}ms sim")
+        for run in report["runs"]:
+            label = run["mode"]
+            if run["partitions"]:
+                label += f"({run['partitions']})"
+            print(f"  {label:<12} digest {run['digest'][:16]} "
+                  f"wall {run['wall_ms']:7.1f}ms "
+                  f"barriers {run['barriers']:<6} "
+                  f"workload {'ok' if run['workload_ok'] else 'INCOMPLETE'}")
+        print("equivalence: "
+              + ("byte-identical across all modes"
+                 if report["equivalent"] else "DIVERGED"))
+    return 0 if ok else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import main as perf_main
 
@@ -522,6 +557,35 @@ def main(argv=None) -> int:
     sweep.add_argument("--output", default=None,
                        help="write the merged report JSON to this file")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    des = sub.add_parser(
+        "des", help="run one federation serially and conservatively "
+                    "partitioned (parallel DES) and compare digests")
+    des.add_argument("--clusters", type=int, default=8,
+                     help="clusters in the federation")
+    des.add_argument("--cluster-size", type=int, default=1,
+                     help="nodes per cluster")
+    des.add_argument("--messages", type=int, default=6,
+                     help="request/reply pairs per driver")
+    des.add_argument("--duration", type=float, default=3000.0,
+                     help="simulated run length after settle (ms)")
+    des.add_argument("--topology", default="ring",
+                     choices=["ring", "mesh"])
+    des.add_argument("--seed", type=int, default=1983)
+    des.add_argument("--des-workers", type=int, action="append",
+                     default=None, metavar="N",
+                     help="partition/worker count to test (repeatable; "
+                          "default 2)")
+    des.add_argument("--no-pool", action="store_true",
+                     help="skip the process-pool runs (staged only)")
+    des.add_argument("--check", action="store_true",
+                     help="exit 1 unless every mode's digest matches "
+                          "the serial run byte-for-byte")
+    des.add_argument("--json", action="store_true",
+                     help="emit the full report as JSON")
+    des.add_argument("--output", default=None,
+                     help="write the report JSON to this file")
+    des.set_defaults(fn=_cmd_des)
 
     perf = sub.add_parser(
         "perf", help="run the benchmark workloads, write "

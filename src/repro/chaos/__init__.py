@@ -14,6 +14,8 @@ from repro.chaos.actions import (
     CrashRecorder,
     DiskSlowdown,
     DiskStall,
+    GatewayCrash,
+    GatewayRestart,
     Heal,
     Partition,
     RestartNode,
@@ -55,6 +57,8 @@ __all__ = [
     "CrashRecorder",
     "DiskSlowdown",
     "DiskStall",
+    "GatewayCrash",
+    "GatewayRestart",
     "Heal",
     "InvariantCheck",
     "MONKEY_KINDS",

@@ -1,5 +1,23 @@
 """Cluster configurations (§6.2)."""
 
-from repro.cluster.gateways import Gateway, ClusterFederation
+from repro.cluster.gateways import (
+    GATEWAY_ID_BASE,
+    ClusterFederation,
+    Gateway,
+    GatewayForwarder,
+    GatewayTap,
+    bridge,
+    directed_gateways,
+    federation_edges,
+)
 
-__all__ = ["Gateway", "ClusterFederation"]
+__all__ = [
+    "GATEWAY_ID_BASE",
+    "ClusterFederation",
+    "Gateway",
+    "GatewayForwarder",
+    "GatewayTap",
+    "bridge",
+    "directed_gateways",
+    "federation_edges",
+]

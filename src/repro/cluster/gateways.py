@@ -6,79 +6,165 @@ In these networks, a recorder can be attached to each cluster to
 perform recovery for that cluster alone. The great advantage to this
 scheme is autonomous control."
 
-A :class:`Gateway` bridges two broadcast media: it claims frames whose
-destination lives on the far side, takes custody (the near medium's
-hardware ack completes the original sender's transmission), and
-re-offers them on the far medium with itself as the frame-level source,
-retrying until the far side — including its recorder — accepts. The far
-cluster's recorder therefore publishes inter-cluster messages exactly
-like local ones, and each recorder recovers only its own processes.
+A gateway is split into its two halves, because they are the only
+cross-cluster edges and therefore the natural cut line for partitioned
+(parallel) execution:
+
+* :class:`GatewayTap` sits on the **near** medium and claims frames
+  whose destination lives on the far side (the near medium's hardware
+  ack completes the original sender's transmission — the gateway takes
+  custody). It stamps each claimed frame with its absolute forwarding
+  time (``now + forward_delay_ms``) and hands it to a channel.
+* :class:`GatewayForwarder` sits on the **far** medium: it re-offers
+  custody frames with itself as the frame-level source, retrying until
+  the far side — including its recorder — accepts, and surfaces retry
+  exhaustion (or a crash of the gateway itself) as dead letters:
+  ``gateway.<id>.frames_dropped`` on the far cluster's metrics spine
+  plus a ``gateway.drop`` trace event, mirroring
+  ``Transport.on_gave_up``.
+
+:class:`Gateway` is the composite handle — both halves on one engine,
+joined by a same-engine channel — and keeps the original one-object
+API. In a partitioned federation the halves live on *different*
+engines, joined by a :class:`~repro.sim.engine.PartitionChannel` whose
+lookahead is exactly ``forward_delay_ms`` (see ``docs/PARALLEL_DES.md``).
 
 :class:`ClusterFederation` builds N :class:`repro.system.System`
-clusters on one engine with disjoint node-id ranges and full-mesh
-gateways.
+clusters with disjoint node-id ranges and gateway routing over a
+``mesh`` (default) or ``ring`` topology — on one engine
+(``partitions=None``), or on one engine per logical process
+(``partitions=P``) driven by a
+:class:`~repro.sim.engine.PartitionedEngine`.
+
+Gateway/interface ids are deterministic: federation gateways derive
+them from the topology (edge rank and direction, starting at
+:data:`GATEWAY_ID_BASE`), and standalone gateways allocate from a
+per-engine counter — never from process-global construction history,
+so two federations built in one process get identical ids.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
+import json
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.errors import NetworkError
 from repro.net.frames import Frame, FrameKind
 from repro.net.media import Medium, NetworkInterface
-from repro.sim.engine import Engine
+from repro.obs import Observability, merge_event_streams, merge_snapshots
+from repro.sim.engine import Engine, EngineCore, PartitionChannel, PartitionedEngine
 from repro.system import System, SystemConfig
 
-#: Each gateway consumes two interface ids (near and far side).
-_gateway_ids = itertools.count(9000, 2)
+#: First gateway/interface id; each gateway consumes two ids (near and
+#: far side). Cluster node ranges stay far below this.
+GATEWAY_ID_BASE = 9000
+
+#: Federation gateway topologies.
+TOPOLOGIES = ("mesh", "ring")
+
+#: engine -> next standalone gateway id (ids are per-engine, not
+#: process-global, so construction history elsewhere cannot skew them)
+_engine_gateway_ids: "WeakKeyDictionary[EngineCore, int]" = WeakKeyDictionary()
 
 
-class Gateway:
-    """A one-directional store-and-forward bridge between two media.
+def _allocate_gateway_id(engine: EngineCore) -> int:
+    next_id = _engine_gateway_ids.get(engine, GATEWAY_ID_BASE)
+    _engine_gateway_ids[engine] = next_id + 2
+    return next_id
 
-    Use two (one per direction) or the :func:`bridge` helper for a
-    bidirectional pair.
+
+def federation_edges(clusters: int, topology: str = "mesh") -> List[Tuple[int, int]]:
+    """The undirected cluster pairs a federation bridges, in id order.
+
+    ``mesh`` bridges every pair; ``ring`` bridges neighbours only (so
+    gateways scale O(N), but only neighbour-to-neighbour traffic is
+    routable).
+    """
+    if topology == "mesh":
+        return [(i, j) for i in range(clusters) for j in range(i + 1, clusters)]
+    if topology == "ring":
+        if clusters <= 1:
+            return []
+        if clusters == 2:
+            return [(0, 1)]
+        return [(i, i + 1) for i in range(clusters - 1)] + [(0, clusters - 1)]
+    raise NetworkError(
+        f"unknown federation topology {topology!r}; choose from {TOPOLOGIES}")
+
+
+def directed_gateways(clusters: int,
+                      topology: str = "mesh") -> List[Tuple[int, int, int]]:
+    """Every directed gateway as ``(gateway_id, src_cluster, dst_cluster)``.
+
+    Ids are a pure function of the topology — every process (and every
+    pool worker rebuilding only its shard) computes the same ids.
+    """
+    out: List[Tuple[int, int, int]] = []
+    for rank, (a, b) in enumerate(federation_edges(clusters, topology)):
+        base = GATEWAY_ID_BASE + 4 * rank
+        out.append((base, a, b))
+        out.append((base + 2, b, a))
+    return out
+
+
+class GatewayForwarder:
+    """The far half: holds custody, re-offers, retries, dead-letters.
+
+    Frames enter through :meth:`accept` — directly scheduled by a
+    same-engine channel, or injected at a window barrier by the
+    partition scheduler.
     """
 
-    def __init__(self, engine: Engine, near: Medium, far: Medium,
-                 far_nodes: Callable[[int], bool],
-                 forward_delay_ms: float = 5.0,
-                 retry_ms: float = 50.0, max_retries: int = 100):
+    def __init__(self, engine: EngineCore, far: Medium, gateway_id: int,
+                 retry_ms: float = 50.0, max_retries: int = 100,
+                 obs: Optional[Observability] = None,
+                 on_drop: Optional[Callable[[int, Frame, int], None]] = None):
         self.engine = engine
-        self.near = near
         self.far = far
-        self.far_nodes = far_nodes
-        self.forward_delay_ms = forward_delay_ms
+        self.gateway_id = gateway_id
         self.retry_ms = retry_ms
         self.max_retries = max_retries
-        self.gateway_id = next(_gateway_ids)
-        self.frames_forwarded = 0
-        self.retries = 0
+        self.on_drop = on_drop
+        self.up = True
         self._awaiting: Dict[int, int] = {}    # frame_id -> attempts
         self._originals: Dict[int, Frame] = {}  # frame_id -> original frame
-        self.near_iface = NetworkInterface(
-            self.gateway_id, self._on_near_frame,
-            accept_extra=self.far_nodes)
-        near.attach(self.near_iface)
+        obs = obs or Observability(lambda: engine.now)
+        prefix = f"gateway.{gateway_id}"
+        self._forwarded = obs.registry.counter(f"{prefix}.frames_forwarded")
+        self._retried = obs.registry.counter(f"{prefix}.retries")
+        self._dropped = obs.registry.counter(f"{prefix}.frames_dropped")
+        self._scope = obs.scope("gateway")
         self.far_iface = NetworkInterface(
-            self.gateway_id + 1, lambda frame: None,
+            gateway_id + 1, lambda frame: None,
             on_delivered=self._on_far_delivered)
         far.attach(self.far_iface)
 
+    # -- the figures tests and benches read ----------------------------
+    @property
+    def frames_forwarded(self) -> int:
+        return self._forwarded.value
+
+    @property
+    def retries(self) -> int:
+        return self._retried.value
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._dropped.value
+
     # ------------------------------------------------------------------
-    def _on_near_frame(self, frame: Frame) -> None:
-        if frame.kind is not FrameKind.DATA:
-            return
-        if not self.far_nodes(frame.dst_node):
-            return
-        if not frame.checksum_ok():
-            return   # the near sender's transport will retry
-        self.engine.schedule(self.forward_delay_ms, self._forward, frame, 0)
+    def accept(self, frame: Frame) -> None:
+        """Take custody of a claimed frame and start forwarding it."""
+        self._forward(frame, 0)
 
     def _forward(self, frame: Frame, attempt: int) -> None:
+        if not self.up:
+            self._drop(frame, attempt, "gateway_down")
+            return
         if attempt >= self.max_retries:
+            self._drop(frame, attempt, "retries_exhausted")
             return
         clone = frame.clone_for(frame.dst_node)
         # The gateway takes custody: it is the frame-level source on the
@@ -87,7 +173,7 @@ class Gateway:
         clone.recorder_acked = False
         self._awaiting[clone.frame_id] = attempt
         self._originals[clone.frame_id] = frame
-        self.frames_forwarded += 1
+        self._forwarded.inc()
         self.far_iface.send(clone)
 
     def _on_far_delivered(self, frame: Frame, ok: bool) -> None:
@@ -97,8 +183,207 @@ class Gateway:
         original = self._originals.pop(frame.frame_id, None)
         if ok or original is None:
             return
-        self.retries += 1
+        self._retried.inc()
         self.engine.schedule(self.retry_ms, self._forward, original, attempt + 1)
+
+    def _drop(self, frame: Frame, attempt: int, reason: str) -> None:
+        """Dead-letter a custody frame, mirroring ``Transport.on_gave_up``."""
+        self._dropped.inc()
+        self._scope.emit("drop", f"gateway{self.gateway_id}",
+                         dst=frame.dst_node, attempts=attempt,
+                         reason=reason, bytes=frame.size_bytes)
+        if self.on_drop is not None:
+            self.on_drop(self.gateway_id, frame, attempt)
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail the far half: every frame in custody is lost and
+        dead-lettered. Custody loss is *permanent* — the near-side
+        sender's transport was satisfied when the near cluster's
+        recorder stored the frame, so nothing upstream retransmits; the
+        dead-letter ledger is how the loss surfaces. (Frames the tap
+        had not yet claimed are safe: their senders keep retrying at
+        the link level until the gateway is back.)"""
+        if not self.up:
+            return
+        self.up = False
+        self.far_iface.up = False
+        for frame_id, attempt in list(self._awaiting.items()):
+            original = self._originals.get(frame_id)
+            if original is not None:
+                self._drop(original, attempt, "gateway_crash")
+        self._awaiting.clear()
+        self._originals.clear()
+
+    def restart(self) -> None:
+        self.up = True
+        self.far_iface.up = True
+
+
+class GatewayTap:
+    """The near half: claims far-bound frames and stamps their
+    forwarding time into a channel."""
+
+    def __init__(self, engine: EngineCore, near: Medium,
+                 far_nodes: Callable[[int], bool], channel,
+                 forward_delay_ms: float, gateway_id: int,
+                 obs: Optional[Observability] = None):
+        self.engine = engine
+        self.near = near
+        self.far_nodes = far_nodes
+        self.channel = channel
+        self.forward_delay_ms = forward_delay_ms
+        self.gateway_id = gateway_id
+        self.up = True
+        obs = obs or Observability(lambda: engine.now)
+        self._claimed = obs.registry.counter(
+            f"gateway.{gateway_id}.frames_claimed")
+        self.near_iface = NetworkInterface(
+            gateway_id, self._on_near_frame, accept_extra=far_nodes)
+        near.attach(self.near_iface)
+
+    @property
+    def frames_claimed(self) -> int:
+        return self._claimed.value
+
+    def _on_near_frame(self, frame: Frame) -> None:
+        if not self.up:
+            return
+        if frame.kind is not FrameKind.DATA:
+            return
+        if not self.far_nodes(frame.dst_node):
+            return
+        if not frame.checksum_ok():
+            return   # the near sender's transport will retry
+        self._claimed.inc()
+        self.channel.send(self.engine.now + self.forward_delay_ms, frame)
+
+    def crash(self) -> None:
+        self.up = False
+        self.near_iface.up = False
+
+    def restart(self) -> None:
+        self.up = True
+        self.near_iface.up = True
+
+
+class _DirectChannel:
+    """A same-engine gateway edge: schedule delivery at the exact
+    stamped time (``schedule_abs`` — the same float ``schedule(delay)``
+    would compute, so serial and partitioned fire times are identical)."""
+
+    __slots__ = ("engine", "deliver")
+
+    def __init__(self, engine: EngineCore, deliver: Callable[[Frame], None]):
+        self.engine = engine
+        self.deliver = deliver
+
+    def send(self, fire_time: float, frame: Frame) -> None:
+        self.engine.schedule_abs(fire_time, self.deliver, frame)
+
+
+class Gateway:
+    """A one-directional store-and-forward bridge between two media.
+
+    The composite handle over a :class:`GatewayTap` and a
+    :class:`GatewayForwarder`. Constructed directly, both halves share
+    one engine (the classic serial gateway); a partitioned federation
+    builds the halves on different engines and wraps them with
+    :meth:`from_parts` (either half may be absent in a federation
+    *slice* that only owns one side).
+    """
+
+    def __init__(self, engine: EngineCore, near: Medium, far: Medium,
+                 far_nodes: Callable[[int], bool],
+                 forward_delay_ms: float = 5.0,
+                 retry_ms: float = 50.0, max_retries: int = 100,
+                 gateway_id: Optional[int] = None,
+                 near_obs: Optional[Observability] = None,
+                 far_obs: Optional[Observability] = None,
+                 on_drop: Optional[Callable[[int, Frame, int], None]] = None):
+        if gateway_id is None:
+            gateway_id = _allocate_gateway_id(engine)
+        shared: Optional[Observability] = None
+        if near_obs is None or far_obs is None:
+            shared = Observability(lambda: engine.now)
+        self.engine = engine
+        self.near = near
+        self.far = far
+        self.far_nodes = far_nodes
+        self.forward_delay_ms = forward_delay_ms
+        self.retry_ms = retry_ms
+        self.max_retries = max_retries
+        self.gateway_id = gateway_id
+        self.forwarder: Optional[GatewayForwarder] = GatewayForwarder(
+            engine, far, gateway_id, retry_ms=retry_ms,
+            max_retries=max_retries, obs=far_obs or shared, on_drop=on_drop)
+        self.tap: Optional[GatewayTap] = GatewayTap(
+            engine, near, far_nodes,
+            _DirectChannel(engine, self.forwarder.accept),
+            forward_delay_ms, gateway_id, obs=near_obs or shared)
+
+    @classmethod
+    def from_parts(cls, gateway_id: int, tap: Optional[GatewayTap],
+                   forwarder: Optional[GatewayForwarder]) -> "Gateway":
+        """Wrap pre-built halves (partitioned federations)."""
+        gateway = cls.__new__(cls)
+        gateway.engine = (tap or forwarder).engine if (tap or forwarder) else None
+        gateway.near = tap.near if tap is not None else None
+        gateway.far = forwarder.far if forwarder is not None else None
+        gateway.far_nodes = tap.far_nodes if tap is not None else None
+        gateway.forward_delay_ms = (tap.forward_delay_ms
+                                    if tap is not None else None)
+        gateway.retry_ms = forwarder.retry_ms if forwarder is not None else None
+        gateway.max_retries = (forwarder.max_retries
+                               if forwarder is not None else None)
+        gateway.gateway_id = gateway_id
+        gateway.tap = tap
+        gateway.forwarder = forwarder
+        return gateway
+
+    # -- compatibility attributes --------------------------------------
+    @property
+    def near_iface(self) -> Optional[NetworkInterface]:
+        return self.tap.near_iface if self.tap is not None else None
+
+    @property
+    def far_iface(self) -> Optional[NetworkInterface]:
+        return self.forwarder.far_iface if self.forwarder is not None else None
+
+    @property
+    def frames_claimed(self) -> int:
+        return self.tap.frames_claimed if self.tap is not None else 0
+
+    @property
+    def frames_forwarded(self) -> int:
+        return self.forwarder.frames_forwarded if self.forwarder else 0
+
+    @property
+    def retries(self) -> int:
+        return self.forwarder.retries if self.forwarder is not None else 0
+
+    @property
+    def frames_dropped(self) -> int:
+        return self.forwarder.frames_dropped if self.forwarder else 0
+
+    @property
+    def up(self) -> bool:
+        return ((self.tap is None or self.tap.up)
+                and (self.forwarder is None or self.forwarder.up))
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail both halves: claiming stops, custody frames are lost."""
+        if self.tap is not None:
+            self.tap.crash()
+        if self.forwarder is not None:
+            self.forwarder.crash()
+
+    def restart(self) -> None:
+        if self.tap is not None:
+            self.tap.restart()
+        if self.forwarder is not None:
+            self.forwarder.restart()
 
 
 def bridge(engine: Engine, medium_a: Medium, medium_b: Medium,
@@ -115,41 +400,155 @@ def bridge(engine: Engine, medium_a: Medium, medium_b: Medium,
 
 
 class ClusterFederation:
-    """Several publishing clusters on one engine, fully bridged.
+    """Several publishing clusters, fully bridged.
 
     Each cluster is an independent :class:`System` — own medium, own
     recorder, own recovery manager ("each cluster can decide for itself
     how and whether or not it will perform recovery") — with disjoint
     node-id ranges so pids are globally unambiguous.
+
+    ``partitions=None`` (default) runs every cluster on one shared
+    engine. ``partitions=P`` groups the clusters into P logical
+    processes, one engine each, with every cross-LP gateway split into
+    a tap + forwarder joined by a lookahead-stamped
+    :class:`~repro.sim.engine.PartitionChannel`; a
+    :class:`~repro.sim.engine.PartitionedEngine` advances the LPs in
+    lookahead-bounded windows. Event order is byte-identical to the
+    serial engine (see ``docs/PARALLEL_DES.md`` and
+    ``tests/test_des_equivalence.py``).
+
+    ``only_partition=k`` builds just LP *k*'s slice — its clusters,
+    taps for outgoing edges and forwarders for incoming ones — for
+    process-pool workers that rebuild their shard from config and
+    exchange frames at barriers (:mod:`repro.parallel.des`). A slice
+    cannot :meth:`run` itself; its pool master drives the windows.
     """
 
     def __init__(self, cluster_sizes: List[int], nodes_stride: int = 100,
                  forward_delay_ms: float = 5.0, publishing: bool = True,
-                 configs: Optional[List[SystemConfig]] = None):
+                 configs: Optional[List[SystemConfig]] = None,
+                 partitions: Optional[int] = None,
+                 topology: str = "mesh",
+                 only_partition: Optional[int] = None):
         if not cluster_sizes:
             raise NetworkError("a federation needs at least one cluster")
-        self.engine = Engine()
-        self.clusters: List[System] = []
-        self.gateways: List[Gateway] = []
+        count = len(cluster_sizes)
+        if configs is not None and len(configs) != count:
+            raise NetworkError(
+                f"{len(configs)} configs for {count} clusters — "
+                f"configs must match cluster_sizes one-to-one")
+        if topology not in TOPOLOGIES:
+            raise NetworkError(
+                f"unknown federation topology {topology!r}; "
+                f"choose from {TOPOLOGIES}")
+        if partitions is not None and partitions < 1:
+            raise NetworkError(f"partitions must be >= 1, got {partitions}")
+        self.topology = topology
+        self.forward_delay_ms = forward_delay_ms
+        self.partitions = (None if partitions is None
+                           else min(partitions, count))
+        lps = self.partitions or 1
+        if only_partition is not None:
+            if self.partitions is None:
+                raise NetworkError("only_partition requires partitions")
+            if not 0 <= only_partition < lps:
+                raise NetworkError(
+                    f"only_partition {only_partition} out of range "
+                    f"(partitions={lps})")
+        self.only_partition = only_partition
+
+        # Per-cluster configs: copied before the federation assigns the
+        # id layout, so caller-owned config objects are never mutated.
+        self.configs: List[SystemConfig] = []
         self._node_sets: List[Set[int]] = []
         for index, size in enumerate(cluster_sizes):
             if configs is not None:
-                config = configs[index]
+                config = replace(configs[index])
             else:
                 config = SystemConfig(nodes=size, publishing=publishing)
             config.first_node_id = 1 + index * nodes_stride
             config.recorder_node_id = 90 + index
             config.services_node = config.first_node_id
-            system = System(config, engine=self.engine)
-            self.clusters.append(system)
-            self._node_sets.append(set(system.nodes))
-        for i in range(len(self.clusters)):
-            for j in range(i + 1, len(self.clusters)):
-                pair = bridge(self.engine,
-                              self.clusters[i].medium, self.clusters[j].medium,
-                              self._node_sets[i], self._node_sets[j],
-                              forward_delay_ms=forward_delay_ms)
-                self.gateways.extend(pair)
+            self.configs.append(config)
+            self._node_sets.append(set(range(
+                config.first_node_id, config.first_node_id + config.nodes)))
+
+        def lp_of(index: int) -> int:
+            return index * lps // count
+
+        self.lp_of = lp_of
+        local_lps = (tuple(range(lps)) if only_partition is None
+                     else (only_partition,))
+        self.engines: Dict[int, Engine] = {lp: Engine() for lp in local_lps}
+        #: serial-compat handle (LP 0's engine when partitioned)
+        self.engine = self.engines[min(self.engines)]
+        #: cluster index -> System, local clusters only (all of them
+        #: unless this is a slice)
+        self.systems: Dict[int, System] = {}
+        for index, config in enumerate(self.configs):
+            lp = lp_of(index)
+            if lp in self.engines:
+                system = System(config, engine=self.engines[lp])
+                system.federation = self
+                system.cluster_index = index
+                self.systems[index] = system
+        self.clusters: List[System] = [self.systems[i]
+                                       for i in sorted(self.systems)]
+        #: (gateway_id, frame, attempts) for every custody frame a
+        #: gateway finally dropped — the federation's dead-letter ledger
+        self.dead_letters: List[Tuple[int, Frame, int]] = []
+
+        self.gateways: List[Gateway] = []
+        self.channels: List[PartitionChannel] = []
+        for gid, src, dst in directed_gateways(count, topology):
+            src_lp, dst_lp = lp_of(src), lp_of(dst)
+            far_nodes = (lambda node, _far=self._node_sets[dst]: node in _far)
+            if src_lp == dst_lp:
+                if src_lp not in self.engines:
+                    continue
+                self.gateways.append(Gateway(
+                    self.engines[src_lp], self.systems[src].medium,
+                    self.systems[dst].medium, far_nodes,
+                    forward_delay_ms=forward_delay_ms, gateway_id=gid,
+                    near_obs=self.systems[src].obs,
+                    far_obs=self.systems[dst].obs,
+                    on_drop=self._note_gateway_drop))
+                continue
+            if src_lp not in self.engines and dst_lp not in self.engines:
+                continue
+            channel = PartitionChannel(f"gw{gid}", src_lp, dst_lp,
+                                       lookahead_ms=forward_delay_ms)
+            forwarder = tap = None
+            if dst_lp in self.engines:
+                forwarder = GatewayForwarder(
+                    self.engines[dst_lp], self.systems[dst].medium, gid,
+                    obs=self.systems[dst].obs,
+                    on_drop=self._note_gateway_drop)
+                channel.deliver = forwarder.accept
+            if src_lp in self.engines:
+                tap = GatewayTap(
+                    self.engines[src_lp], self.systems[src].medium,
+                    far_nodes, channel, forward_delay_ms, gid,
+                    obs=self.systems[src].obs)
+            self.gateways.append(Gateway.from_parts(gid, tap, forwarder))
+            self.channels.append(channel)
+
+        self.scheduler: Optional[PartitionedEngine] = None
+        if self.partitions is not None and only_partition is None:
+            self.scheduler = PartitionedEngine(
+                [self.engines[lp] for lp in range(lps)], self.channels)
+
+    # ------------------------------------------------------------------
+    def _note_gateway_drop(self, gateway_id: int, frame: Frame,
+                           attempts: int) -> None:
+        self.dead_letters.append((gateway_id, frame, attempts))
+
+    @property
+    def now(self) -> float:
+        """Current federation time (the last barrier when partitioned)."""
+        if self.scheduler is not None:
+            return self.scheduler.now
+        return self.engine.now
 
     def boot(self, settle_ms: float = 500.0) -> None:
         for system in self.clusters:
@@ -160,10 +559,45 @@ class ClusterFederation:
                 system.checkpoint_all()
 
     def run(self, duration_ms: float) -> float:
+        if self.only_partition is not None:
+            raise NetworkError(
+                "a federation slice is driven by its pool master, "
+                "not run() (see repro.parallel.des)")
+        if self.scheduler is not None:
+            return self.scheduler.run(until=self.scheduler.now + duration_ms)
         return self.engine.run(until=self.engine.now + duration_ms)
 
     def cluster_of(self, node_id: int) -> System:
         for index, nodes in enumerate(self._node_sets):
             if node_id in nodes:
-                return self.clusters[index]
+                system = self.systems.get(index)
+                if system is None:
+                    raise NetworkError(
+                        f"node {node_id} belongs to cluster {index}, which "
+                        f"is outside this federation slice")
+                return system
         raise NetworkError(f"node {node_id} is in no cluster")
+
+    # ------------------------------------------------------------------
+    # the merged observability spine
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Every cluster's metrics in one snapshot, keys prefixed
+        ``cluster.<index>.`` — the per-LP registries merged back into a
+        single spine view."""
+        return merge_snapshots(
+            (f"cluster.{index}", self.systems[index].metrics_snapshot())
+            for index in sorted(self.systems))
+
+    def merged_events(self) -> List[Dict[str, object]]:
+        """Every cluster's trace events as one time-ordered stream;
+        each record carries its ``cluster`` label. Ties on time keep
+        cluster-index order (per-cluster order is always preserved)."""
+        return merge_event_streams(
+            (f"cluster.{index}", self.systems[index].obs.bus)
+            for index in sorted(self.systems))
+
+    def event_stream(self) -> str:
+        """:meth:`merged_events` as JSON lines."""
+        return "\n".join(json.dumps(record, sort_keys=True)
+                         for record in self.merged_events())

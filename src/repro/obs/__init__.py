@@ -16,7 +16,7 @@ stats objects (``MediumStats``, ``TransportStats``, recovery counters,
 private counter path.
 """
 
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import Event, EventBus, Scope
 from repro.obs.metrics import (
@@ -44,6 +44,40 @@ class Observability:
         return self.registry.snapshot()
 
 
+def merge_snapshots(
+        parts: Iterable[Tuple[str, Dict[str, Any]]]) -> Dict[str, Any]:
+    """Merge several labelled metrics snapshots into one spine view.
+
+    Each part's keys are prefixed ``<label>.``; the merged snapshot is
+    key-sorted so it serializes canonically regardless of part order.
+    Used by partitioned federations to present per-LP registries as a
+    single snapshot.
+    """
+    merged: Dict[str, Any] = {}
+    for label, snapshot in parts:
+        for key, value in snapshot.items():
+            merged[f"{label}.{key}"] = value
+    return dict(sorted(merged.items()))
+
+
+def merge_event_streams(
+        parts: Iterable[Tuple[str, EventBus]]) -> List[Dict[str, Any]]:
+    """Merge several labelled event buses into one time-ordered stream.
+
+    Each record gains a ``cluster`` field naming its source part. Ties
+    on time are broken by part order then intra-bus order, so each
+    bus's own total order is preserved and the merge is deterministic.
+    """
+    entries = []
+    for part_index, (label, bus) in enumerate(parts):
+        for position, event in enumerate(bus.events):
+            record = event.to_dict()
+            record["cluster"] = label
+            entries.append((event.time, part_index, position, record))
+    entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    return [record for _, _, _, record in entries]
+
+
 __all__ = [
     "Counter",
     "Event",
@@ -53,5 +87,7 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Scope",
+    "merge_event_streams",
+    "merge_snapshots",
     "TimeWeightedAverage",
 ]

@@ -1,0 +1,449 @@
+"""Conservative parallel DES over cluster federations.
+
+A federation's gateways are its only cross-cluster edges, and every
+gateway imposes a fixed, positive ``forward_delay_ms`` before a claimed
+frame re-enters the world on the far medium. That delay is exactly the
+*lookahead* a conservative parallel discrete-event simulation needs:
+if every logical process (LP) advances at most ``L = forward_delay_ms``
+beyond the last barrier, a frame claimed anywhere in the window fires
+strictly *after* the window's end — so exchanging claimed frames at
+window barriers can never deliver an event into an LP's past, and the
+partitioned run replays the serial event order byte-for-byte (see
+``docs/PARALLEL_DES.md``).
+
+Three execution modes over one scenario:
+
+* :func:`run_serial` — the reference: every cluster on one engine.
+* :func:`run_staged` — one engine per LP in a single process, driven by
+  :class:`~repro.sim.engine.PartitionedEngine`. No parallelism, but it
+  exercises the exact window/barrier protocol; its digests must equal
+  the serial run's.
+* :func:`run_pooled` — one OS process per LP. Each worker
+  deterministically rebuilds its shard (``ClusterFederation(...,
+  partitions=P, only_partition=k)`` — the same wiring code as staged
+  mode), and the parent drives lookahead windows over pipes, routing
+  the frames drained from each worker's outgoing channels into the
+  destination worker's next advance. Digests must again be identical.
+
+The per-cluster digest covers the full trace-event stream and metrics
+snapshot, so "byte-identical" means every layer of every cluster saw
+the same events at the same simulated times in the same order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.workload import (
+    CHAOS_COUNTER_IMAGE,
+    CHAOS_DRIVER_IMAGE,
+    ChaosCounter,
+    ChaosDriver,
+    expected_total,
+    register_chaos_programs,
+)
+from repro.cluster.gateways import ClusterFederation
+from repro.errors import ReproError
+from repro.parallel.runner import _mp_context, canonical_json
+from repro.system import System, SystemConfig
+
+#: Metrics that legitimately differ between one-engine and N-engine
+#: execution of the *same* events: each System's ``sim.events_fired``
+#: gauge reads its (possibly shared) engine's global event counter.
+DES_VOLATILE_METRICS = frozenset({"sim.events_fired"})
+
+
+@dataclass(frozen=True)
+class DesScenario:
+    """One reproducible federation workload, identical in every mode.
+
+    Each cluster runs a :class:`~repro.chaos.workload.ChaosCounter` and
+    a :class:`~repro.chaos.workload.ChaosDriver` targeting the *next*
+    cluster's counter, so every add/total round trip crosses two
+    gateways. Driver start times are staggered per cluster
+    (``stagger_ms``) so distinct channels never collide on exact event
+    timestamps.
+    """
+
+    clusters: int = 4
+    cluster_size: int = 1
+    messages: int = 6
+    duration_ms: float = 3000.0
+    settle_ms: float = 500.0
+    stagger_ms: float = 7.3
+    topology: str = "ring"
+    forward_delay_ms: float = 5.0
+    master_seed: int = 1983
+
+    def validate(self) -> None:
+        if self.clusters < 2:
+            raise ReproError("a DES scenario needs at least 2 clusters")
+        if self.forward_delay_ms <= 0:
+            raise ReproError("forward_delay_ms must be positive (lookahead)")
+
+
+# ----------------------------------------------------------------------
+# digests
+# ----------------------------------------------------------------------
+def cluster_digest(system: System) -> str:
+    """SHA-256 over one cluster's full event stream + metrics snapshot
+    (minus :data:`DES_VOLATILE_METRICS`)."""
+    snapshot = {key: value for key, value in system.metrics_snapshot().items()
+                if key not in DES_VOLATILE_METRICS}
+    blob = system.obs.bus.to_jsonl() + "\n" + canonical_json(snapshot)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def federation_digest(per_cluster: Dict[int, str]) -> str:
+    """One digest over all per-cluster digests, order-independent."""
+    canon = canonical_json({str(k): per_cluster[k]
+                            for k in sorted(per_cluster)})
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# scenario construction (shared by every mode and every pool worker)
+# ----------------------------------------------------------------------
+def build_federation(scenario: DesScenario,
+                     partitions: Optional[int] = None,
+                     only_partition: Optional[int] = None) -> ClusterFederation:
+    scenario.validate()
+    configs = [SystemConfig(nodes=scenario.cluster_size,
+                            master_seed=scenario.master_seed)
+               for _ in range(scenario.clusters)]
+    fed = ClusterFederation(
+        [scenario.cluster_size] * scenario.clusters,
+        forward_delay_ms=scenario.forward_delay_ms,
+        topology=scenario.topology,
+        configs=configs,
+        partitions=partitions,
+        only_partition=only_partition)
+    for system in fed.clusters:
+        register_chaos_programs(system)
+    return fed
+
+
+def _spawn_driver(system: System, target: Tuple[int, int],
+                  messages: int) -> None:
+    system.spawn_program(CHAOS_DRIVER_IMAGE, args=(target, messages),
+                         node=system.config.first_node_id)
+
+
+def spawn_workload(fed: ClusterFederation, scenario: DesScenario) -> None:
+    """Spawn the ring workload on every *local* cluster.
+
+    Counters are spawned synchronously (engines idle at the settle
+    barrier) in ascending cluster order; every cluster boots through
+    the identical sequence, so the counter's local pid component is the
+    same on all of them — which is how a pool worker knows the pid of a
+    counter it never built. Drivers are then scheduled as staggered
+    engine events, so their timestamps are identical in every mode.
+    """
+    counter_local: Optional[int] = None
+    for index in sorted(fed.systems):
+        system = fed.systems[index]
+        pid = system.spawn_program(CHAOS_COUNTER_IMAGE,
+                                   node=system.config.first_node_id)
+        if counter_local is None:
+            counter_local = pid.local
+        elif pid.local != counter_local:
+            raise ReproError(
+                f"counter local ids diverged: {pid.local} != {counter_local}")
+    for index in sorted(fed.systems):
+        system = fed.systems[index]
+        target_cluster = (index + 1) % scenario.clusters
+        target = (fed.configs[target_cluster].first_node_id, counter_local)
+        delay = 1.0 + scenario.stagger_ms * index
+        system.engine.schedule(delay, _spawn_driver, system, target,
+                               scenario.messages)
+
+
+def _programs_of(system: System, cls) -> List[Any]:
+    out = []
+    for node_id in sorted(system.nodes):
+        kernel = system.nodes[node_id].kernel
+        for pid in sorted(kernel.processes):
+            program = kernel.processes[pid].program
+            if isinstance(program, cls):
+                out.append(program)
+    return out
+
+
+def collect_local(fed: ClusterFederation,
+                  scenario: DesScenario) -> Dict[str, Any]:
+    """Digest + workload summary for every cluster this federation
+    (or slice) owns. Pure data — safe to send over a pipe."""
+    per_cluster: Dict[int, str] = {}
+    replies: Dict[int, int] = {}
+    totals: Dict[int, int] = {}
+    for index, system in sorted(fed.systems.items()):
+        per_cluster[index] = cluster_digest(system)
+        drivers = _programs_of(system, ChaosDriver)
+        counters = _programs_of(system, ChaosCounter)
+        replies[index] = len(drivers[0].replies) if drivers else 0
+        totals[index] = counters[0].total if counters else 0
+    return {
+        "per_cluster": per_cluster,
+        "replies": replies,
+        "totals": totals,
+        "frames_forwarded": sum(g.frames_forwarded for g in fed.gateways),
+        "frames_dropped": sum(g.frames_dropped for g in fed.gateways),
+        "gateway_retries": sum(g.retries for g in fed.gateways),
+        "dead_letters": len(fed.dead_letters),
+    }
+
+
+def _merge_collected(parts: Sequence[Dict[str, Any]],
+                     scenario: DesScenario) -> Dict[str, Any]:
+    per_cluster: Dict[int, str] = {}
+    replies: Dict[int, int] = {}
+    totals: Dict[int, int] = {}
+    counters = {"frames_forwarded": 0, "frames_dropped": 0,
+                "gateway_retries": 0, "dead_letters": 0}
+    for part in parts:
+        per_cluster.update(part["per_cluster"])
+        replies.update(part["replies"])
+        totals.update(part["totals"])
+        for key in counters:
+            counters[key] += part[key]
+    expected = expected_total(scenario.messages)
+    ok = (len(per_cluster) == scenario.clusters
+          and all(replies.get(i) == scenario.messages
+                  for i in range(scenario.clusters))
+          and all(totals.get(i) == expected
+                  for i in range(scenario.clusters)))
+    return {
+        "digest": federation_digest(per_cluster),
+        "per_cluster": {str(k): per_cluster[k] for k in sorted(per_cluster)},
+        "replies": [replies.get(i, 0) for i in range(scenario.clusters)],
+        "totals": [totals.get(i, 0) for i in range(scenario.clusters)],
+        "expected_total": expected,
+        "workload_ok": ok,
+        **counters,
+    }
+
+
+# ----------------------------------------------------------------------
+# in-process modes
+# ----------------------------------------------------------------------
+def _run_inprocess(scenario: DesScenario,
+                   partitions: Optional[int]) -> Dict[str, Any]:
+    started = time.perf_counter()
+    fed = build_federation(scenario, partitions=partitions)
+    fed.boot(settle_ms=scenario.settle_ms)
+    spawn_workload(fed, scenario)
+    fed.run(scenario.duration_ms)
+    result = _merge_collected([collect_local(fed, scenario)], scenario)
+    result.update({
+        "mode": "serial" if partitions is None else "staged",
+        "partitions": partitions or 0,
+        "clusters": scenario.clusters,
+        "sim_ms": scenario.settle_ms + scenario.duration_ms,
+        "wall_ms": (time.perf_counter() - started) * 1000.0,
+        "barriers": fed.scheduler.barriers if fed.scheduler else 0,
+        "messages_exchanged": (fed.scheduler.messages_exchanged
+                               if fed.scheduler else 0),
+    })
+    return result
+
+
+def run_serial(scenario: DesScenario) -> Dict[str, Any]:
+    """The reference execution: one engine, no windows."""
+    return _run_inprocess(scenario, partitions=None)
+
+
+def run_staged(scenario: DesScenario, partitions: int) -> Dict[str, Any]:
+    """One engine per LP, windowed barrier sync, single process."""
+    return _run_inprocess(scenario, partitions=partitions)
+
+
+# ----------------------------------------------------------------------
+# process-pool mode
+# ----------------------------------------------------------------------
+def _pool_worker(conn, scenario: DesScenario, partitions: int,
+                 shard: int) -> None:
+    """One LP in its own process: rebuild the shard, then follow the
+    parent's window protocol over the pipe."""
+    fed = build_federation(scenario, partitions=partitions,
+                           only_partition=shard)
+    in_channels = {channel.key: channel for channel in fed.channels
+                   if channel.dst in fed.engines}
+    out_channels = [channel for channel in fed.channels
+                    if channel.src in fed.engines]
+    try:
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == "boot":
+                for system in fed.clusters:
+                    system.boot(settle_ms=0.0)
+                conn.send(("ok",))
+            elif kind == "advance":
+                _, target, inbound = command
+                # inbound arrives pre-sorted by (fire_time, key, seq) —
+                # the same order PartitionedEngine._exchange injects in
+                for fire_time, key, _seq, frame in inbound:
+                    channel = in_channels[key]
+                    fed.engines[channel.dst].schedule_abs(
+                        fire_time, channel.deliver, frame)
+                for lp in sorted(fed.engines):
+                    fed.engines[lp].run(until=target)
+                outbound = []
+                for channel in out_channels:
+                    for fire_time, seq, frame in channel.drain():
+                        outbound.append(
+                            (fire_time, channel.key, seq, frame, channel.dst))
+                conn.send(("out", outbound))
+            elif kind == "checkpoint":
+                for system in fed.clusters:
+                    if system.config.publishing:
+                        system.checkpoint_all()
+                conn.send(("ok",))
+            elif kind == "spawn":
+                spawn_workload(fed, scenario)
+                conn.send(("ok",))
+            elif kind == "collect":
+                conn.send(("result", collect_local(fed, scenario)))
+            elif kind == "exit":
+                return
+            else:   # pragma: no cover - protocol error
+                raise ReproError(f"unknown pool command {kind!r}")
+    finally:
+        conn.close()
+
+
+def run_pooled(scenario: DesScenario, workers: int) -> Dict[str, Any]:
+    """One OS process per LP, the parent driving lookahead windows.
+
+    Each round the parent tells every worker to advance to the next
+    window barrier (handing it the frames routed to it at the previous
+    barrier), then gathers what each worker's taps claimed. Frames are
+    routed by channel destination and globally sorted by
+    ``(fire_time, channel key, channel seq)`` — a pure function of the
+    message set, so injection order never depends on worker timing.
+    """
+    scenario.validate()
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    partitions = min(workers, scenario.clusters)
+    started = time.perf_counter()
+    ctx = _mp_context()
+    pipes = []
+    processes = []
+    try:
+        for shard in range(partitions):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_pool_worker,
+                args=(child_conn, scenario, partitions, shard), daemon=True)
+            process.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            processes.append(process)
+
+        def broadcast(command):
+            for pipe in pipes:
+                pipe.send(command)
+            return [pipe.recv() for pipe in pipes]
+
+        now = 0.0
+        barriers = 0
+        messages_exchanged = 0
+        window = scenario.forward_delay_ms
+        pending: Dict[int, List[Tuple]] = {s: [] for s in range(partitions)}
+
+        def advance(duration: float) -> None:
+            nonlocal now, barriers, messages_exchanged
+            until = now + duration
+            while now < until:
+                target = min(until, now + window)
+                for shard, pipe in enumerate(pipes):
+                    pipe.send(("advance", target, pending[shard]))
+                    pending[shard] = []
+                drained = []
+                for pipe in pipes:
+                    tag, outbound = pipe.recv()
+                    if tag != "out":   # pragma: no cover - protocol error
+                        raise ReproError(f"unexpected worker reply {tag!r}")
+                    drained.extend(outbound)
+                drained.sort(key=lambda m: (m[0], m[1], m[2]))
+                for fire_time, key, seq, frame, dst in drained:
+                    pending[dst].append((fire_time, key, seq, frame))
+                messages_exchanged += len(drained)
+                barriers += 1
+                now = target
+
+        broadcast(("boot",))
+        advance(scenario.settle_ms)
+        broadcast(("checkpoint",))
+        broadcast(("spawn",))
+        advance(scenario.duration_ms)
+        parts = [reply[1] for reply in broadcast(("collect",))]
+        for pipe in pipes:
+            pipe.send(("exit",))
+    finally:
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():   # pragma: no cover - hung worker
+                process.terminate()
+        for pipe in pipes:
+            pipe.close()
+
+    result = _merge_collected(parts, scenario)
+    result.update({
+        "mode": "pooled",
+        "partitions": partitions,
+        "workers": workers,
+        "clusters": scenario.clusters,
+        "sim_ms": scenario.settle_ms + scenario.duration_ms,
+        "wall_ms": (time.perf_counter() - started) * 1000.0,
+        "barriers": barriers,
+        "messages_exchanged": messages_exchanged,
+    })
+    return result
+
+
+# ----------------------------------------------------------------------
+# equivalence reports
+# ----------------------------------------------------------------------
+def equivalence_report(scenario: DesScenario,
+                       worker_counts: Sequence[int] = (1, 2),
+                       include_staged: bool = True,
+                       include_pooled: bool = True) -> Dict[str, Any]:
+    """Run the scenario serially and partitioned, and compare digests.
+
+    Returns a report with every run's summary, the reference digest,
+    and ``equivalent`` — True iff every mode produced byte-identical
+    per-cluster digests and a correct workload outcome.
+    """
+    runs = [run_serial(scenario)]
+    if include_staged:
+        for count in worker_counts:
+            runs.append(run_staged(scenario, partitions=count))
+    if include_pooled:
+        for count in worker_counts:
+            runs.append(run_pooled(scenario, workers=count))
+    reference = runs[0]["digest"]
+    mismatches = [
+        {"mode": run["mode"], "partitions": run["partitions"],
+         "digest": run["digest"]}
+        for run in runs if run["digest"] != reference]
+    equivalent = not mismatches and all(run["workload_ok"] for run in runs)
+    return {
+        "scenario": {
+            "clusters": scenario.clusters,
+            "cluster_size": scenario.cluster_size,
+            "messages": scenario.messages,
+            "duration_ms": scenario.duration_ms,
+            "topology": scenario.topology,
+            "forward_delay_ms": scenario.forward_delay_ms,
+            "master_seed": scenario.master_seed,
+        },
+        "reference_digest": reference,
+        "equivalent": equivalent,
+        "mismatches": mismatches,
+        "runs": runs,
+    }

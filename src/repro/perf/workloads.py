@@ -682,6 +682,68 @@ def sweep_scaling(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+_DES_SMOKE = (6, 4, 1500.0)     # clusters, messages, duration_ms
+_DES_FULL = (32, 6, 3000.0)
+_DES_WORKER_COUNTS = (1, 2, 4)
+
+
+def parallel_des(seed: int, smoke: bool) -> Dict[str, Any]:
+    """One federation simulated serially vs conservatively partitioned.
+
+    Unlike :func:`sweep_scaling` (independent runs sharded over a
+    pool), this partitions a *single* simulation: one LP per cluster
+    group, synchronized through gateway-lookahead windows
+    (docs/PARALLEL_DES.md). The serial run and every pooled run must
+    produce byte-identical per-cluster digests — the determinism
+    contract — so the scaling figures can never describe divergent
+    runs. The speedup is bounded by the machine's core count and the
+    barrier cadence — expect ~1x (or below, from barrier overhead) on a
+    single-core box.
+    """
+    from repro.parallel.des import DesScenario, run_pooled, run_serial
+
+    clusters, messages, duration_ms = _DES_SMOKE if smoke else _DES_FULL
+    scenario = DesScenario(clusters=clusters, messages=messages,
+                           duration_ms=duration_ms, master_seed=seed)
+    serial = run_serial(scenario)
+    if not serial["workload_ok"]:
+        raise PerfDivergence("parallel_des: serial workload incomplete")
+    workers_out: Dict[str, Dict[str, float]] = {
+        "serial": {"wall_ms": round(serial["wall_ms"], 3)}}
+    digests = [serial["digest"]]
+    for workers in _DES_WORKER_COUNTS:
+        pooled = run_pooled(scenario, workers=workers)
+        digests.append(pooled["digest"])
+        workers_out[str(workers)] = {
+            "wall_ms": round(pooled["wall_ms"], 3),
+            "barriers": pooled["barriers"],
+            "messages_exchanged": pooled["messages_exchanged"],
+        }
+        if not pooled["workload_ok"]:
+            raise PerfDivergence(
+                f"parallel_des: pooled workload incomplete at "
+                f"{workers} workers")
+    if len(set(digests)) != 1:
+        raise PerfDivergence(
+            f"parallel_des: digests varied with execution mode: "
+            f"{[d[:12] for d in digests]}")
+
+    def speedup(workers: int) -> float:
+        wall = workers_out[str(workers)]["wall_ms"]
+        return round(serial["wall_ms"] / wall, 3) if wall else 0.0
+
+    return {
+        "ops": clusters * messages,     # completed request/reply pairs
+        "events": serial["frames_forwarded"],
+        "sim_ms": round(serial["sim_ms"], 6),
+        "wall_ms": workers_out["serial"]["wall_ms"],
+        "workers": workers_out,
+        "speedup_2_workers": speedup(2),
+        "speedup_4_workers": speedup(4),
+        "des_digest": digests[0][:16],
+    }
+
+
 #: name -> workload function, in canonical report order
 WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "engine_churn": engine_churn,
@@ -692,4 +754,5 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "recorder_scaling": recorder_scaling,
     "chaos_campaign": chaos_campaign,
     "sweep_scaling": sweep_scaling,
+    "parallel_des": parallel_des,
 }

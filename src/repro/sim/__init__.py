@@ -6,13 +6,23 @@ events at equal timestamps fire in scheduling order, and all randomness is
 drawn from named, seeded streams (:class:`~repro.sim.rng.RngStreams`).
 """
 
-from repro.sim.engine import Engine, EventHandle, Signal
+from repro.sim.engine import (
+    Engine,
+    EngineCore,
+    EventHandle,
+    PartitionChannel,
+    PartitionedEngine,
+    Signal,
+)
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
     "Engine",
+    "EngineCore",
     "EventHandle",
+    "PartitionChannel",
+    "PartitionedEngine",
     "Signal",
     "RngStreams",
     "TraceLog",

@@ -28,6 +28,15 @@ naive reference implementation):
 * cancelled events are removed lazily, but when more than half of the
   heap is dead the engine compacts it in place, bounding both memory
   and the pop-side cleanup work.
+
+Partitioning: the heap/scheduling internals live in :class:`EngineCore`
+(:class:`Engine` adds the Signal/coroutine layer on top), so a
+federation can run one core per logical process (LP) and advance them
+in lookahead-bounded windows under a :class:`PartitionedEngine` — the
+conservative parallel-DES scheme where the only cross-LP edges are
+:class:`PartitionChannel`\\ s whose ``lookahead_ms`` (a gateway's
+``forward_delay_ms``, §6.2) bounds how far one LP's present can reach
+into another's future. See ``docs/PARALLEL_DES.md``.
 """
 
 from __future__ import annotations
@@ -68,7 +77,7 @@ class EventHandle:
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any],
-                 args: tuple, engine: Optional["Engine"] = None):
+                 args: tuple, engine: Optional["EngineCore"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -113,8 +122,15 @@ class Signal:
         self._waiters.append(gen)
 
 
-class Engine:
-    """A deterministic discrete-event simulation engine."""
+class EngineCore:
+    """The heap/scheduling internals of the engine.
+
+    Everything a logical process needs to advance simulated time:
+    schedule / cancel / run / step over the ``(time, seq, handle)``
+    heap. :class:`Engine` layers the Signal and coroutine-activity API
+    on top; a :class:`PartitionedEngine` drives several cores in
+    lookahead-bounded windows.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -173,13 +189,38 @@ class Engine:
         """Schedule ``fn(*args)`` to run at absolute time ``time``."""
         return self.schedule(time - self._now, fn, *args)
 
+    def schedule_abs(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the *exact* absolute timestamp.
+
+        ``schedule_at`` computes ``now + (time - now)``, which can land
+        an ulp away from ``time``; cross-partition injection needs the
+        fire time bit-identical to the one the sending LP stamped, so
+        the partition scheduler uses this primitive instead.
+        """
+        if time < self._now:
+            if time < self._now - NEGATIVE_DELAY_EPSILON_MS:
+                raise SimulationError(
+                    f"cannot schedule into the past (at={time}, now={self._now})")
+            time = self._now
+        seq = self._seq + 1
+        self._seq = seq
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+            handle._engine = self
+        else:
+            handle = EventHandle(time, seq, fn, args, self)
+        heappush(self._heap, (time, seq, handle))
+        return handle
+
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current time, after pending events."""
         return self.schedule(0.0, fn, *args)
-
-    def signal(self, name: str = "") -> Signal:
-        """Create a :class:`Signal` bound to this engine."""
-        return Signal(self, name)
 
     # ------------------------------------------------------------------
     # cancellation bookkeeping
@@ -209,37 +250,6 @@ class Engine:
             self._free.append(handle)
         else:
             handle._engine = None
-
-    # ------------------------------------------------------------------
-    # coroutine activities
-    # ------------------------------------------------------------------
-    def spawn(self, gen: Generator, delay: float = 0.0) -> EventHandle:
-        """Start a coroutine activity after ``delay`` ms.
-
-        The generator may yield:
-
-        * a non-negative float — sleep that many ms;
-        * a :class:`Signal` — sleep until it fires (yield evaluates to the
-          fired value);
-        * ``None`` — yield the processor, resume at the same time.
-        """
-        return self.schedule(delay, self._resume, gen, None)
-
-    def _resume(self, gen: Generator, value: Any) -> None:
-        try:
-            yielded = gen.send(value)
-        except StopIteration:
-            return
-        if yielded is None:
-            self.call_soon(self._resume, gen, None)
-        elif isinstance(yielded, Signal):
-            yielded._add_waiter(gen)
-        elif isinstance(yielded, (int, float)):
-            self.schedule(float(yielded), self._resume, gen, None)
-        else:
-            raise SimulationError(
-                f"activity yielded {yielded!r}; expected delay, Signal, or None"
-            )
 
     # ------------------------------------------------------------------
     # running
@@ -331,6 +341,164 @@ class Engine:
             self._cancelled -= 1
             self._recycle(handle)
         return heap[0][0] if heap else None
+
+
+class Engine(EngineCore):
+    """A deterministic discrete-event simulation engine.
+
+    :class:`EngineCore` plus the Signal and coroutine-activity layer.
+    """
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this engine."""
+        return Signal(self, name)
+
+    # ------------------------------------------------------------------
+    # coroutine activities
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, delay: float = 0.0) -> EventHandle:
+        """Start a coroutine activity after ``delay`` ms.
+
+        The generator may yield:
+
+        * a non-negative float — sleep that many ms;
+        * a :class:`Signal` — sleep until it fires (yield evaluates to the
+          fired value);
+        * ``None`` — yield the processor, resume at the same time.
+        """
+        return self.schedule(delay, self._resume, gen, None)
+
+    def _resume(self, gen: Generator, value: Any) -> None:
+        try:
+            yielded = gen.send(value)
+        except StopIteration:
+            return
+        if yielded is None:
+            self.call_soon(self._resume, gen, None)
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(gen)
+        elif isinstance(yielded, (int, float)):
+            self.schedule(float(yielded), self._resume, gen, None)
+        else:
+            raise SimulationError(
+                f"activity yielded {yielded!r}; expected delay, Signal, or None"
+            )
+
+
+class PartitionChannel:
+    """One directed cross-partition edge with a fixed lookahead.
+
+    The sending LP stamps each message with its absolute fire time
+    (``claim time + lookahead_ms``) and appends it to the outbox; the
+    :class:`PartitionedEngine` drains outboxes at every window barrier
+    and injects the messages into the destination LP at their exact
+    stamped times. Because a message claimed inside window
+    ``(T, T + W]`` fires at ``claim + lookahead > T + W`` (for any
+    window ``W <= lookahead_ms``), injection at the barrier is always
+    in the destination's future — the conservative-PDES safety
+    condition.
+    """
+
+    __slots__ = ("key", "src", "dst", "lookahead_ms", "outbox",
+                 "deliver", "_seq")
+
+    def __init__(self, key: str, src: int, dst: int, lookahead_ms: float,
+                 deliver: Optional[Callable[[Any], None]] = None):
+        if lookahead_ms <= 0:
+            raise SimulationError(
+                f"channel {key!r} needs a positive lookahead, "
+                f"got {lookahead_ms}")
+        self.key = key
+        self.src = src              # source LP index
+        self.dst = dst              # destination LP index
+        self.lookahead_ms = lookahead_ms
+        #: (fire_time, channel_seq, payload), in send order
+        self.outbox: List[Tuple[float, int, Any]] = []
+        #: destination-side sink, bound where the receiving half lives
+        self.deliver = deliver
+        self._seq = 0
+
+    def send(self, fire_time: float, payload: Any) -> None:
+        """Queue ``payload`` to fire at ``fire_time`` on the far side."""
+        self._seq += 1
+        self.outbox.append((fire_time, self._seq, payload))
+
+    def drain(self) -> List[Tuple[float, int, Any]]:
+        """Take every queued message (called at window barriers)."""
+        out, self.outbox = self.outbox, []
+        return out
+
+
+class PartitionedEngine:
+    """A conservative windowed-barrier scheduler over several cores.
+
+    Each :class:`EngineCore` is one logical process; the only edges
+    between them are :class:`PartitionChannel`\\ s. All LPs advance to
+    the same target (``min(lookahead)`` past the last barrier, clipped
+    to ``until``), then every channel's outbox is drained, sorted by
+    ``(fire_time, channel key, channel seq)``, and injected into the
+    destination cores at the exact stamped fire times. The sort makes
+    the injection order a pure function of the message set — never of
+    which LP ran first — so an in-process staged pass and a process
+    pool produce bit-identical schedules.
+    """
+
+    def __init__(self, engines: List[EngineCore],
+                 channels: List[PartitionChannel]):
+        if not engines:
+            raise SimulationError("a partitioned engine needs at least one LP")
+        self.engines = engines
+        self.channels = channels
+        for channel in channels:
+            if not 0 <= channel.dst < len(engines):
+                raise SimulationError(
+                    f"channel {channel.key!r} routes to unknown LP "
+                    f"{channel.dst}")
+        #: the barrier window: the tightest lookahead of any edge
+        self.window_ms = (min(c.lookahead_ms for c in channels)
+                          if channels else None)
+        self._now = 0.0
+        self.barriers = 0
+        self.messages_exchanged = 0
+
+    @property
+    def now(self) -> float:
+        """The last barrier time (every LP's clock agrees here)."""
+        return self._now
+
+    def run(self, until: float) -> float:
+        """Advance every LP to ``until`` in lookahead-bounded windows."""
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run backwards (until={until}, now={self._now})")
+        if self.window_ms is None:
+            # No cross-LP edges: the LPs are independent simulations.
+            for engine in self.engines:
+                engine.run(until=until)
+            self._now = until
+            return self._now
+        while self._now < until:
+            target = min(until, self._now + self.window_ms)
+            for engine in self.engines:
+                engine.run(until=target)
+            self._exchange()
+            self._now = target
+            self.barriers += 1
+        return self._now
+
+    def _exchange(self) -> None:
+        """Drain every outbox and inject at exact stamped times."""
+        pending: List[Tuple[float, str, int, PartitionChannel, Any]] = []
+        for channel in self.channels:
+            for fire_time, seq, payload in channel.drain():
+                pending.append((fire_time, channel.key, seq, channel, payload))
+        if not pending:
+            return
+        pending.sort(key=lambda item: (item[0], item[1], item[2]))
+        for fire_time, _key, _seq, channel, payload in pending:
+            self.engines[channel.dst].schedule_abs(
+                fire_time, channel.deliver, payload)
+        self.messages_exchanged += len(pending)
 
 
 def run_simulation(setup: Callable[[Engine], Any], until: float) -> Tuple[Engine, Any]:

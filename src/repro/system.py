@@ -118,6 +118,10 @@ class System:
                  engine: Optional[Engine] = None):
         self.config = config or SystemConfig()
         self.engine = engine or Engine()
+        #: set by ClusterFederation when this cluster lives in one —
+        #: lets chaos actions reach federation-level subjects (gateways)
+        self.federation = None
+        self.cluster_index: Optional[int] = None
         self.rng = RngStreams(self.config.master_seed)
         #: one instrumentation spine (event bus + metrics registry)
         #: shared by every layer of the cluster

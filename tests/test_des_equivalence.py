@@ -1,0 +1,129 @@
+"""Partitioned DES must replay the serial engine byte-for-byte.
+
+The whole value of the conservative partitioning (gateway lookahead
+windows, barrier exchange — docs/PARALLEL_DES.md) is that it is *not*
+an approximation: every cluster's full event stream and metrics
+snapshot must hash identically whether the federation ran on one
+engine, on N staged engines in one process, or on a process pool.
+"""
+
+import pytest
+
+from repro.parallel.des import (
+    DES_VOLATILE_METRICS,
+    DesScenario,
+    build_federation,
+    equivalence_report,
+    run_pooled,
+    run_serial,
+    run_staged,
+    spawn_workload,
+)
+
+SMALL = DesScenario(clusters=4, messages=4, duration_ms=1500.0)
+
+
+class TestStagedEquivalence:
+    def test_staged_matches_serial_small(self):
+        serial = run_serial(SMALL)
+        staged = run_staged(SMALL, partitions=2)
+        assert serial["workload_ok"]
+        assert staged["workload_ok"]
+        assert staged["per_cluster"] == serial["per_cluster"]
+        assert staged["digest"] == serial["digest"]
+        # 2 LPs over a 4-ring: the two cross-LP drivers' request+reply
+        # traffic crosses the partition cut.
+        assert staged["messages_exchanged"] > 0
+        assert staged["barriers"] > 0
+
+    def test_single_partition_degenerates_to_serial(self):
+        serial = run_serial(SMALL)
+        staged = run_staged(SMALL, partitions=1)
+        assert staged["digest"] == serial["digest"]
+        assert staged["messages_exchanged"] == 0   # no cross-LP edges
+
+    def test_one_lp_per_cluster(self):
+        serial = run_serial(SMALL)
+        staged = run_staged(SMALL, partitions=SMALL.clusters)
+        assert staged["digest"] == serial["digest"]
+        assert staged["workload_ok"]
+
+    def test_mesh_topology_also_equivalent(self):
+        scenario = DesScenario(clusters=3, messages=3, duration_ms=1200.0,
+                               topology="mesh")
+        serial = run_serial(scenario)
+        staged = run_staged(scenario, partitions=3)
+        assert serial["workload_ok"]
+        assert staged["digest"] == serial["digest"]
+
+
+class TestPooledEquivalence:
+    def test_pooled_matches_serial(self):
+        serial = run_serial(SMALL)
+        pooled = run_pooled(SMALL, workers=2)
+        assert pooled["workload_ok"]
+        assert pooled["per_cluster"] == serial["per_cluster"]
+        assert pooled["digest"] == serial["digest"]
+        assert pooled["messages_exchanged"] > 0
+
+    def test_pooled_single_worker_matches_serial(self):
+        serial = run_serial(SMALL)
+        pooled = run_pooled(SMALL, workers=1)
+        assert pooled["digest"] == serial["digest"]
+
+
+class TestLargeFederation:
+    """The acceptance-criteria configuration: 32 clusters."""
+
+    SCENARIO = DesScenario(clusters=32, messages=6, duration_ms=3000.0)
+
+    def test_32_clusters_serial_vs_staged_vs_pooled(self):
+        report = equivalence_report(self.SCENARIO, worker_counts=(1, 4))
+        assert report["equivalent"], report["mismatches"]
+        modes = {(run["mode"], run["partitions"]) for run in report["runs"]}
+        assert modes == {("serial", 0), ("staged", 1), ("staged", 4),
+                         ("pooled", 1), ("pooled", 4)}
+        for run in report["runs"]:
+            assert run["workload_ok"]
+            assert run["replies"] == [6] * 32
+            assert run["frames_dropped"] == 0
+
+
+class TestDigestScope:
+    def test_digest_covers_metrics(self):
+        # Two scenarios differing only in traffic must not collide.
+        a = run_serial(SMALL)
+        b = run_serial(DesScenario(clusters=4, messages=5,
+                                   duration_ms=1500.0))
+        assert a["digest"] != b["digest"]
+
+    def test_volatile_metrics_documented(self):
+        # The only excluded metric is the engine-global event counter,
+        # which legitimately differs between 1-engine and N-engine runs.
+        assert DES_VOLATILE_METRICS == {"sim.events_fired"}
+
+
+class TestSliceConstruction:
+    def test_slice_owns_only_its_partition(self):
+        full = build_federation(SMALL, partitions=2)
+        slice0 = build_federation(SMALL, partitions=2, only_partition=0)
+        slice1 = build_federation(SMALL, partitions=2, only_partition=1)
+        assert set(slice0.systems) | set(slice1.systems) == set(full.systems)
+        assert not set(slice0.systems) & set(slice1.systems)
+
+    def test_slice_refuses_to_run_itself(self):
+        from repro.errors import NetworkError
+        fed = build_federation(SMALL, partitions=2, only_partition=0)
+        with pytest.raises(NetworkError):
+            fed.run(100.0)
+
+    def test_spawn_is_deterministic_across_slices(self):
+        # Both slices must compute identical pids for remote counters;
+        # spawn_workload raises if counter local ids ever diverge.
+        for shard in (0, 1):
+            fed = build_federation(SMALL, partitions=2,
+                                   only_partition=shard)
+            for system in fed.clusters:
+                system.boot(settle_ms=0.0)
+            fed.engines[shard].run(until=SMALL.settle_ms)
+            spawn_workload(fed, SMALL)
