@@ -274,6 +274,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_gossip(args: argparse.Namespace) -> int:
+    """The epidemic-repair acceptance scenario (docs/GOSSIP.md).
+
+    Crash the recorder mid-traffic, restart it into a log with holes,
+    then crash a counter node so recovery must replay across the gap.
+    With gossip the holes heal by peer pull and the workload lands
+    exactly; the contrast arm (same faults, gossip off, tight retry
+    budget) dead-letters instead — the reliability gap the repair path
+    closes.
+    """
+    from repro.chaos import (ChaosCampaign, CrashNode, CrashRecorder,
+                             RestartRecorder, run_scenario)
+
+    def build_campaign():
+        # Traffic spans roughly 0.7-2.8 s simulated; the outage window
+        # sits inside it and the node crash lands after the restart.
+        return ChaosCampaign(
+            [CrashRecorder(1000.0),
+             RestartRecorder(1000.0 + args.outage),
+             CrashNode(1000.0 + args.outage + 1400.0, node=args.nodes)],
+            name="gossip_repair")
+
+    def run_once(gossip: bool):
+        # Node recovery replays the whole log through the recorder's
+        # disk path; give the settle phase room for it.
+        return run_scenario(
+            build_campaign(), nodes=args.nodes, pairs=1,
+            messages=args.messages, master_seed=args.seed,
+            settle_ms=8000.0,
+            config_overrides={"gossip": gossip,
+                              "transport_max_retries": 6})
+
+    result = run_once(True)
+    identical = None
+    if args.verify_determinism:
+        identical = result.event_stream() == run_once(True).event_stream()
+    contrast = None if args.no_contrast else run_once(False)
+    snap = result.system.metrics_snapshot()
+    ok = result.ok and identical is not False
+    if args.json:
+        payload = result.report.to_dict()
+        payload["totals"] = result.totals
+        payload["expected_total"] = result.expected
+        payload["gossip"] = {
+            k.split(".", 1)[1]: v for k, v in sorted(snap.items())
+            if k.startswith("gossip.")}
+        if identical is not None:
+            payload["replay_identical"] = identical
+        if contrast is not None:
+            payload["contrast"] = {
+                "ok": contrast.ok,
+                "totals": contrast.totals,
+                "dead_letters": len(contrast.system.dead_letters),
+            }
+        payload["ok"] = ok
+        _write_or_print(json.dumps(payload, indent=2, sort_keys=True),
+                        args.output)
+    else:
+        lines = [result.report.format()]
+        lines.append(
+            f"  gossip: flagged={snap.get('gossip.gaps_flagged', 0)} "
+            f"repaired={snap.get('gossip.messages_repaired', 0)} "
+            f"rounds={snap.get('gossip.rounds', 0)} "
+            f"gave_up={snap.get('gossip.gave_up', 0)}")
+        if identical is not None:
+            lines.append("  replay: second run "
+                         + ("bit-identical" if identical else "DIVERGED"))
+        if contrast is not None:
+            lines.append(
+                f"  without gossip: ok={contrast.ok} "
+                f"dead_letters={len(contrast.system.dead_letters)} "
+                f"totals={contrast.totals} (expected {contrast.expected})")
+        _write_or_print("\n".join(lines), args.output)
+    return 0 if ok else 1
+
+
 def _chaos_matrix(args: argparse.Namespace) -> int:
     """``chaos --runs K [--parallel N]``: a sharded seed matrix."""
     from repro.parallel import chaos_matrix_tasks, run_tasks, sweep_digest
@@ -514,6 +590,28 @@ def main(argv=None) -> int:
                             "campaign")
     add_parallel(chaos, "the seed matrix (--runs > 1)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    gossip = sub.add_parser(
+        "gossip", help="epidemic-repair acceptance scenario: recorder "
+                       "outage mid-traffic, holes healed by peer pull "
+                       "(docs/GOSSIP.md)")
+    gossip.add_argument("--seed", type=int, default=1983)
+    gossip.add_argument("--nodes", type=int, default=2)
+    gossip.add_argument("--messages", type=int, default=30,
+                        help="request/reply round trips")
+    gossip.add_argument("--outage", type=float, default=1200.0,
+                        help="recorder outage length (simulated ms)")
+    gossip.add_argument("--no-contrast", action="store_true",
+                        help="skip the gossip-off contrast arm")
+    gossip.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    gossip.add_argument("--verify-determinism", action="store_true",
+                        help="run the gossip arm twice and require "
+                             "bit-identical event streams")
+    gossip.add_argument("--output", default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    gossip.set_defaults(fn=_cmd_gossip)
 
     sweep = sub.add_parser(
         "sweep", help="shard an evaluation sweep over worker processes "

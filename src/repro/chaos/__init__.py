@@ -16,6 +16,7 @@ from repro.chaos.actions import (
     DiskStall,
     GatewayCrash,
     GatewayRestart,
+    GossipLoss,
     Heal,
     Partition,
     RestartNode,
@@ -59,6 +60,7 @@ __all__ = [
     "DiskStall",
     "GatewayCrash",
     "GatewayRestart",
+    "GossipLoss",
     "Heal",
     "InvariantCheck",
     "MONKEY_KINDS",

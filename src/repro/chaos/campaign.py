@@ -221,10 +221,16 @@ def check_invariants(system) -> List[InvariantCheck]:
         "transports_drained", not depths,
         f"stuck queues: {depths}" if depths else "all queues empty"))
 
+    # Losslessness spans both ledgers: transport give-ups on this
+    # cluster *and* custody frames its federation's gateways dropped.
+    federation = getattr(system, "federation", None)
+    gateway_dead = len(federation.dead_letters) if federation is not None else 0
+    total_dead = len(system.dead_letters) + gateway_dead
     checks.append(InvariantCheck(
-        "no_dead_letters", not system.dead_letters,
-        (f"{len(system.dead_letters)} guaranteed messages undelivered"
-         if system.dead_letters else "every guaranteed message delivered")))
+        "no_dead_letters", total_dead == 0,
+        (f"{total_dead} guaranteed messages undelivered"
+         + (f" ({gateway_dead} gateway custody losses)" if gateway_dead else "")
+         if total_dead else "every guaranteed message delivered")))
 
     if system.recorder is not None:
         stuck = sorted(str(r.pid) for r in system.recorder.db.live_records()
@@ -313,6 +319,16 @@ def build_report(system, campaign: ChaosCampaign,
         "gave_up": summed(".gave_up"),
         "dead_letters": len(system.dead_letters),
     }
+    federation = getattr(system, "federation", None)
+    if federation is not None:
+        figures["gateway_dead_letters"] = len(federation.dead_letters)
+    if system.gossip is not None:
+        figures.update({
+            "gossip_rounds": snapshot.get("gossip.rounds", 0),
+            "gossip_repaired": snapshot.get("gossip.messages_repaired", 0),
+            "gossip_gave_up": snapshot.get("gossip.gave_up", 0),
+            "gossip_outstanding": snapshot.get("gossip.outstanding", 0),
+        })
     if system.recovery is not None:
         stats = system.recovery.stats
         figures.update({

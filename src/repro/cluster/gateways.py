@@ -51,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.errors import NetworkError
-from repro.net.frames import Frame, FrameKind
+from repro.net.frames import DeadLetter, Frame, FrameKind
 from repro.net.media import Medium, NetworkInterface
 from repro.obs import Observability, merge_event_streams, merge_snapshots
 from repro.sim.engine import Engine, EngineCore, PartitionChannel, PartitionedEngine
@@ -494,9 +494,11 @@ class ClusterFederation:
                 self.systems[index] = system
         self.clusters: List[System] = [self.systems[i]
                                        for i in sorted(self.systems)]
-        #: (gateway_id, frame, attempts) for every custody frame a
-        #: gateway finally dropped — the federation's dead-letter ledger
-        self.dead_letters: List[Tuple[int, Frame, int]] = []
+        #: one :class:`DeadLetter` (gateway_id, frame, attempts) for
+        #: every custody frame a gateway finally dropped — the
+        #: federation's dead-letter ledger, same shape as
+        #: ``System.dead_letters`` so losslessness checks sum both
+        self.dead_letters: List[DeadLetter] = []
 
         self.gateways: List[Gateway] = []
         self.channels: List[PartitionChannel] = []
@@ -541,7 +543,7 @@ class ClusterFederation:
     # ------------------------------------------------------------------
     def _note_gateway_drop(self, gateway_id: int, frame: Frame,
                            attempts: int) -> None:
-        self.dead_letters.append((gateway_id, frame, attempts))
+        self.dead_letters.append(DeadLetter(gateway_id, frame, attempts))
 
     @property
     def now(self) -> float:

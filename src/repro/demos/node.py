@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from repro.demos.ids import ProcessId, kernel_pid
+from repro.demos.ids import MessageId, ProcessId, kernel_pid
 from repro.demos.kernel import KernelConfig, MessageKernel
 from repro.demos.kernel_process import KERNEL_PROCESS_IMAGE
 from repro.demos.messages import Control
@@ -39,6 +39,9 @@ class Node:
         self.kernel = MessageKernel(engine, node_id, medium, config,
                                     registry, trace, obs=obs, rng=rng)
         self.booted = False
+        #: bounded ring of recently published messages — attached by
+        #: the gossip coordinator (publishing.gossip), None otherwise
+        self.gossip_buffer = None
         self._register_handlers()
 
     # ------------------------------------------------------------------
@@ -56,6 +59,8 @@ class Node:
     # ------------------------------------------------------------------
     def crash(self) -> None:
         """Processor failure: all processes and volatile state are lost."""
+        if self.gossip_buffer is not None:
+            self.gossip_buffer.clear()      # the buffer is volatile too
         self.kernel.crash_node()
 
     def restart(self) -> None:
@@ -74,6 +79,7 @@ class Node:
         handlers["recreate"] = self._on_recreate
         handlers["replay"] = self._on_replay
         handlers["recovery_done"] = self._on_recovery_done
+        handlers["gossip_pull"] = self._on_gossip_pull
 
     def _on_are_you_alive(self, control: Control, src_node: int) -> None:
         self.kernel.send_control(src_node, Control("alive_reply", {
@@ -112,3 +118,18 @@ class Node:
     def _on_recovery_done(self, control: Control, src_node: int) -> None:
         self.kernel.finish_recovery(ProcessId(*control["pid"]),
                                     control.get("epoch", 0))
+
+    def _on_gossip_pull(self, control: Control, src_node: int) -> None:
+        """Epidemic pull backup: supply any requested message this
+        node's bounded buffer still holds. Supplies are unguaranteed —
+        the recorder's next round retries whatever is still missing."""
+        buffer = self.gossip_buffer
+        if buffer is None:
+            return
+        for sender, seq in control["wanted"]:
+            msg_id = MessageId(ProcessId(*sender), seq)
+            message = buffer.get(msg_id)
+            if message is not None:
+                self.kernel.send_control(
+                    src_node, Control("gossip_supply", {"message": message}),
+                    guaranteed=False, size_bytes=message.size_bytes + 32)

@@ -20,12 +20,27 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, NamedTuple, Optional
 
 #: Destination id meaning "every attached interface".
 BROADCAST = -1
 
 _frame_counter = itertools.count(1)
+
+
+class DeadLetter(NamedTuple):
+    """One guaranteed item its carrier finally gave up on.
+
+    ``origin`` is the node id whose transport exhausted its retries, or
+    the gateway id that lost custody; ``payload`` is the transport
+    :class:`~repro.net.transport.Segment` (node/recorder transports) or
+    the :class:`Frame` (gateway custody loss). Tuple-shaped so existing
+    ``(origin, payload, attempts)`` unpacking keeps working.
+    """
+
+    origin: int
+    payload: Any
+    attempts: int
 
 
 def crc16_bitwise(data: bytes) -> int:

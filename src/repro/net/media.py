@@ -47,6 +47,8 @@ class MediumStats:
         self._bytes_delivered = registry.counter(f"{prefix}.bytes_delivered")
         self._collisions = registry.counter(f"{prefix}.collisions")
         self._recorder_misses = registry.counter(f"{prefix}.recorder_misses")
+        self._recorder_copies_missed = registry.counter(
+            f"{prefix}.recorder_copies_missed")
         self._busy_time_ms = registry.counter(f"{prefix}.busy_time_ms")
         self._frame_bytes = registry.histogram(f"{prefix}.frame_bytes",
                                                buckets=FRAME_SIZE_BUCKETS)
@@ -96,6 +98,14 @@ class MediumStats:
     @recorder_misses.setter
     def recorder_misses(self, value: int) -> None:
         self._recorder_misses.value = value
+
+    @property
+    def recorder_copies_missed(self) -> int:
+        return self._recorder_copies_missed.value
+
+    @recorder_copies_missed.setter
+    def recorder_copies_missed(self, value: int) -> None:
+        self._recorder_copies_missed.value = value
 
     @property
     def busy_time_ms(self) -> float:
@@ -181,6 +191,15 @@ class Medium:
         #: cached view of the recorder interfaces (attach/detach rebuild
         #: it), so per-frame paths don't rescan every station
         self._recorder_ifaces: List[NetworkInterface] = []
+        #: epidemic repair wiring (publishing.gossip). ``gossip_backup``
+        #: makes a recorder miss tolerable — receivers keep the frame
+        #: and the hole is repaired by pull rounds instead of sender
+        #: retransmission. ``gossip_tap`` feeds the per-node buffers.
+        #: ``recorder_loss`` is the seed-pure reception-loss hook.
+        self.gossip_backup = False
+        self.gossip_tap: Optional[Callable[[Frame], None]] = None
+        self.recorder_loss: Optional[Callable[[Frame], bool]] = None
+        self._frame_lost_to_recorder: Optional[Frame] = None
         self.obs = obs or Observability(lambda: engine.now)
         self.events = self.obs.scope(f"media.{self.kind}")
         self.stats = MediumStats(self.obs.registry, f"media.{self.kind}")
@@ -233,11 +252,27 @@ class Medium:
         supplied by the survivors. With all recorders down, nothing can
         be stored and guaranteed traffic stalls until one returns
         (§3.3.4).
+
+        A crashed recorder's missing copy is never silent: each one is
+        counted (``recorder_copies_missed``) and, when survivors supply
+        the acknowledgement anyway, surfaced as a ``recorder_copy_missed``
+        event — that log hole is exactly what the gossip repair path
+        must fill when the recorder restarts.
         """
+        self._frame_lost_to_recorder = None
+        if (frame.kind is FrameKind.DATA and self.recorder_loss is not None
+                and self.recorder_loss(frame)):
+            # Injected reception loss: the frame never reached any
+            # recorder interface, and the delivery observation (§4.4.1)
+            # for this frame is suppressed with it.
+            self._frame_lost_to_recorder = frame
+            return False
         any_healthy = False
         stored_by_all = True
+        copies_missed = 0
         for rec in self._recorder_ifaces:
             if not rec.up:
+                copies_missed += 1
                 continue
             any_healthy = True
             seen = self.faults.apply(frame, rec.node_id)
@@ -245,18 +280,37 @@ class Medium:
                 rec.on_frame(seen)
             else:
                 stored_by_all = False
+        if copies_missed and frame.kind is FrameKind.DATA:
+            self.stats.recorder_copies_missed += copies_missed
+            if any_healthy and stored_by_all:
+                # Survivors ack on the crashed recorder's behalf (§6.3);
+                # flag the hole instead of silently counting it stored.
+                self.events.emit("recorder_copy_missed",
+                                 f"node{frame.src_node}",
+                                 dst=frame.dst_node, copies=copies_missed)
         return any_healthy and stored_by_all
 
     def _deliver_to_receivers(self, frame: Frame, recorder_ok: bool) -> None:
         """Deliver the frame to its destination(s), honouring the
         recorder-acknowledgement rule for data frames."""
-        if (self.enforce_recorder_ack and frame.kind is FrameKind.DATA
-                and not recorder_ok):
-            self.stats.recorder_misses += 1
-            self.events.emit("recorder_miss", f"node{frame.src_node}",
-                             dst=frame.dst_node, bytes=frame.size_bytes)
-            self._notify_sender(frame, False)
-            return
+        if frame.kind is FrameKind.DATA and not recorder_ok:
+            if self.gossip_backup:
+                # Epidemic repair mode: the miss is tolerated — peers
+                # keep the frame in their gossip buffers and the
+                # recorder pulls the hole closed later.
+                if self._recorder_ifaces:
+                    self.stats.recorder_misses += 1
+                    self.events.emit("recorder_miss", f"node{frame.src_node}",
+                                     dst=frame.dst_node,
+                                     bytes=frame.size_bytes, tolerated=True)
+            elif self.enforce_recorder_ack:
+                self.stats.recorder_misses += 1
+                self.events.emit("recorder_miss", f"node{frame.src_node}",
+                                 dst=frame.dst_node, bytes=frame.size_bytes)
+                self._notify_sender(frame, False)
+                return
+        if frame.kind is FrameKind.DATA and self.gossip_tap is not None:
+            self.gossip_tap(frame)
         delivered = False
         for iface in self.interfaces:
             if iface.is_recorder or not iface.up:
@@ -293,6 +347,9 @@ class Medium:
         reflect reception order rather than recording order."""
         if frame.kind is not FrameKind.DATA:
             return
+        if frame is self._frame_lost_to_recorder:
+            return          # the recorders never heard this frame
+
         for rec in self._recorder_ifaces:
             if rec.up and rec.on_delivery is not None:
                 rec.on_delivery(frame)

@@ -744,6 +744,126 @@ def parallel_des(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# epidemic repair frontier (publishing.gossip)
+# ----------------------------------------------------------------------
+
+#: frontier cells: (mode, recording-path loss rate, gossip buffer depth)
+_GOSSIP_FULL = (
+    ("recorder", 0.0, 0),
+    ("recorder", 0.1, 0),
+    ("recorder", 0.25, 0),
+    ("gossip", 0.1, 128),
+    ("gossip", 0.25, 128),
+    ("gossip", 0.25, 8),
+    ("gossip", 0.4, 128),
+)
+_GOSSIP_SMOKE = (
+    ("recorder", 0.0, 0),
+    ("recorder", 0.15, 0),
+    ("gossip", 0.15, 64),
+    ("gossip", 0.3, 16),
+)
+
+
+def _recorded_set_digest(system) -> int:
+    """Order-independent digest of every process's recorded id set —
+    the set-convergence contract of docs/GOSSIP.md: a converged
+    gossip+loss run matches the lossless recorder-only run on *sets*
+    even though repair reordered the arrival interleave."""
+    digest = 0
+    db = system.recorder.db
+    for pid in sorted(db.records):
+        record = db.records[pid]
+        digest = (digest * 1000003 + pid.node * 131 + pid.local * 31 + 7) % _HASH_MOD
+        for sender, seq in sorted(record.recorded_ids):
+            digest = (digest * 1000003
+                      + sender.node * 131 + sender.local * 31 + seq) % _HASH_MOD
+    return digest
+
+
+def gossip_repair(seed: int, smoke: bool) -> Dict[str, Any]:
+    """The reliability-vs-overhead frontier of the epidemic repair path.
+
+    Each cell runs the counter workload under seed-pure loss on the
+    recording path. The ``recorder`` cells keep strict enforcement —
+    misses are repaired by sender retransmission (overhead shows up as
+    ``retransmissions``); the ``gossip`` cells tolerate misses and pull
+    the log holes closed from bounded peer buffers (overhead shows up
+    as pulls/supplies, and a too-small buffer surfaces as ``gave_up``).
+    Every cell's recorded-set digest folds into ``replay_digest``, so
+    the compare gate pins two-run determinism of the loss injection,
+    the fanout draws, and the repair order.
+    """
+    from repro.chaos import ChaosCampaign, run_scenario
+
+    cells = _GOSSIP_SMOKE if smoke else _GOSSIP_FULL
+    messages = 8 if smoke else 18
+    frontier: List[Dict[str, Any]] = []
+    digest = 0
+    events = 0
+    sim_ms = 0.0
+    lossless_digest = None
+    for mode, loss_rate, depth in cells:
+        overrides: Dict[str, Any] = {
+            "gossip": mode == "gossip",
+            "gossip_loss_rate": loss_rate,
+            "gossip_round_ms": 120.0,
+            "gossip_max_retries": 6,
+        }
+        if depth:
+            overrides["gossip_buffer_depth"] = depth
+        result = run_scenario(
+            ChaosCampaign([], name=f"gossip_{mode}_{loss_rate}"),
+            nodes=2, pairs=1, messages=messages, master_seed=seed,
+            checkpoint_policy=None, settle_ms=4000.0,
+            config_overrides=overrides)
+        if not result.ok:
+            raise PerfDivergence(
+                f"gossip_repair[{mode} loss={loss_rate}]: invariants failed:\n"
+                + result.report.format())
+        system = result.system
+        snap = system.metrics_snapshot()
+        retrans = sum(v for k, v in snap.items()
+                      if k.startswith("transport.")
+                      and k.endswith(".retransmissions"))
+        cell_digest = _recorded_set_digest(system)
+        digest = (digest * 1000003 + cell_digest) % _HASH_MOD
+        if mode == "recorder" and loss_rate == 0.0:
+            lossless_digest = cell_digest
+        gave_up = int(snap.get("gossip.gave_up", 0))
+        frontier.append({
+            "mode": mode,
+            "loss_rate": loss_rate,
+            "buffer_depth": depth or 256,
+            "retransmissions": int(retrans),
+            "receptions_dropped": int(snap.get("gossip.receptions_dropped", 0)),
+            "repaired": int(snap.get("gossip.messages_repaired", 0)),
+            "pulls_sent": int(snap.get("gossip.pulls_sent", 0)),
+            "supplies_received": int(snap.get("gossip.supplies_received", 0)),
+            "gave_up": gave_up,
+            "set_matches_lossless": (lossless_digest is not None
+                                     and cell_digest == lossless_digest),
+        })
+        if (mode == "gossip" and gave_up == 0
+                and lossless_digest is not None
+                and cell_digest != lossless_digest):
+            raise PerfDivergence(
+                f"gossip_repair[{mode} loss={loss_rate}]: repair converged "
+                f"(gave_up=0) but the recorded set diverged from the "
+                f"lossless run")
+        events += system.engine.events_fired
+        sim_ms += system.engine.now
+    return {
+        "ops": 2 * messages * len(cells),
+        "events": events,
+        "sim_ms": round(sim_ms, 6),
+        "replay_digest": digest,
+        "cells": len(cells),
+        "frontier": frontier,
+    }
+
+
 #: name -> workload function, in canonical report order
 WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "engine_churn": engine_churn,
@@ -755,4 +875,5 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "chaos_campaign": chaos_campaign,
     "sweep_scaling": sweep_scaling,
     "parallel_des": parallel_des,
+    "gossip_repair": gossip_repair,
 }

@@ -15,7 +15,10 @@
 * :mod:`repro.publishing.multi_recorder` — priority-vector coordination
   of several recorders (§6.3);
 * :mod:`repro.publishing.node_recovery` — node-as-unit recovery with a
-  deterministic scheduler (§6.6.2).
+  deterministic scheduler (§6.6.2);
+* :mod:`repro.publishing.gossip` — epidemic repair: bounded peer
+  buffers, gap tracking, and pull-based hole repair on top of the
+  passive recorder (see ``docs/GOSSIP.md``).
 """
 
 from repro.publishing.disk import DiskModel, DiskParams, DiskArray
@@ -30,6 +33,13 @@ from repro.publishing.checkpoints import (
     StorageBalancePolicy,
 )
 from repro.publishing.watchdog import Watchdog
+from repro.publishing.gossip import (
+    GapTracker,
+    GossipBuffer,
+    GossipConfig,
+    GossipCoordinator,
+    ReceptionLoss,
+)
 from repro.publishing.recorder import Recorder, RecorderConfig
 from repro.publishing.recovery_manager import RecoveryManager
 from repro.publishing.multi_recorder import PriorityVectors, MultiRecorderCoordinator
@@ -50,6 +60,11 @@ __all__ = [
     "RecoveryTimeBoundPolicy",
     "StorageBalancePolicy",
     "Watchdog",
+    "GapTracker",
+    "GossipBuffer",
+    "GossipConfig",
+    "GossipCoordinator",
+    "ReceptionLoss",
     "Recorder",
     "RecorderConfig",
     "RecoveryManager",

@@ -221,6 +221,25 @@ class NodeRecorder:
     def report_receipt(self, event: ExtranodeEvent) -> None:
         self.events.append(event)
 
+    def repair_receipt(self, event: ExtranodeEvent) -> bool:
+        """A late-supplied extranode input the recorder missed (the
+        node-as-unit analog of the gossip repair path, docs/GOSSIP.md).
+
+        Unlike the message log — where a repair appends at a fresh
+        arrival index and only the *set* converges — the instruction
+        count travels with the event, so inserting it in count order
+        restores the exact replay interleave. Returns False for
+        duplicates and for events already covered by the checkpoint.
+        """
+        if (self.checkpoint is not None and event.instruction_count
+                < self.checkpoint.instruction_count):
+            return False
+        if event in self.events:
+            return False
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.instruction_count)
+        return True
+
     def note_ext_send(self) -> None:
         self.ext_sends_seen += 1
 

@@ -128,6 +128,10 @@ class Recorder:
                           lambda: self.disks.stall_wait_ms)
         self._control_handlers: Dict[str, Callable[[Control, int], None]] = {}
         self._arrival_signals: Dict[ProcessId, Signal] = {}
+        #: epidemic repair back-reference (publishing.gossip): when set,
+        #: the record path feeds the coordinator's gap tracker and
+        #: gossip supplies are applied through :meth:`record_repair`.
+        self.gossip = None
         self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
         self._marker_seq = itertools.count(1)
         # Resolved once: the per-message CPU charge is fixed by the
@@ -200,6 +204,8 @@ class Recorder:
         sender = self.db.get(message.src)
         if sender is not None:
             sender.note_sent(message.msg_id.seq)
+        if self.gossip is not None:
+            self.gossip.note_recorded(message)
         record = self.db.get(message.dst)
         if record is None:
             # Message overheard before (or without) a creation notice —
@@ -245,6 +251,43 @@ class Recorder:
         if pid not in self._arrival_signals:
             self._arrival_signals[pid] = self.engine.signal(f"arrivals/{pid}")
         return self._arrival_signals[pid]
+
+    def record_repair(self, message: Message) -> bool:
+        """Apply one gossip-supplied message as if it had been heard
+        *and* its delivery observed: the broadcast delivered it to its
+        destination while the recorder's copy was lost, so the supply
+        closes the log hole in one step.
+
+        Repaired messages append at a fresh arrival index — after
+        everything that arrived while they were missing — so replay
+        interleave differs from true reception order while the
+        per-process recorded set converges (docs/GOSSIP.md).
+        """
+        if not self.up or message.recovery_marker:
+            return False
+        self._cpu_busy_ms.inc(self._publish_cost_ms)
+        sender = self.db.get(message.src)
+        if sender is not None:
+            sender.note_sent(message.msg_id.seq)
+        record = self.db.get(message.dst)
+        if record is None:
+            record = self.db.create(message.dst, node=message.dst.node,
+                                    image="")
+        if self.config.selective and not record.recoverable:
+            return False
+        if not record.confirm_message(message,
+                                      self.db.allocate_arrival_index()):
+            self._duplicates_ignored.inc()
+            return False
+        self._messages_recorded.inc()
+        self.buffer.add(message.size_bytes)
+        if sender is not None:
+            sender.note_send_confirmed(message.msg_id.seq)
+        self.trace.emit("repair", str(message.dst), msg=str(message.msg_id))
+        signal = self._arrival_signals.get(message.dst)
+        if signal is not None:
+            signal.fire(message.msg_id)
+        return True
 
     # ------------------------------------------------------------------
     # control plane

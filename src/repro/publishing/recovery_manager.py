@@ -95,6 +95,10 @@ class RecoveryManager:
         self.node_restarter: Optional[Callable[[int], None]] = None
         #: §6.3 coordinator; None for the single-recorder configuration
         self.coordinator = None
+        #: epidemic repair coordinator (publishing.gossip); when set, a
+        #: recovery whose log has known holes waits for the pull rounds
+        #: to converge before streaming the replay
+        self.gossip = None
         self._completion_signals: Dict[ProcessId, object] = {}
         recorder.on_control("alive_reply", self._on_alive_reply)
         recorder.on_control("process_crashed", self._on_process_crashed)
@@ -235,6 +239,19 @@ class RecoveryManager:
             "epoch": epoch,
         }), size_bytes=max(64, (record.checkpoint.pages * 1024
                                 if record.checkpoint else 64)))
+
+        # 2.5 Epidemic repair: if the gossip layer knows of log holes
+        # (sequence gaps the recorder never heard — e.g. a recorder
+        # outage during a traffic window), wait for the pull rounds to
+        # close or abandon them before streaming the replay, so the
+        # recovered process also sees messages the recorder itself
+        # missed. The wait is bounded by max_retries gossip rounds.
+        if self.gossip is not None and self.gossip.outstanding_count():
+            self.trace.emit("recovery", str(pid), event="gossip_repair_wait",
+                            holes=self.gossip.outstanding_count())
+            yield self.gossip.request_urgent()
+            if self._superseded(record, epoch):
+                return
 
         # 3-5. Stream the log; mark; catch up. The cursor walks the
         # per-process index from the first valid record — O(records

@@ -41,11 +41,17 @@ from repro.errors import ReproError
 from repro.net.acking_ethernet import AckingEthernet
 from repro.net.ethernet import CsmaEthernet
 from repro.net.faults import FaultPlan
+from repro.net.frames import DeadLetter
 from repro.net.media import Medium, PerfectBroadcast
 from repro.net.star import StarHub
 from repro.net.token_ring import TokenRing
 from repro.net.transport import TransportConfig
 from repro.publishing.checkpoints import CheckpointPolicy, install_policy
+from repro.publishing.gossip import (
+    GossipConfig,
+    GossipCoordinator,
+    ReceptionLoss,
+)
 from repro.publishing.recorder import Recorder, RecorderConfig
 from repro.publishing.recovery_manager import RecoveryManager
 from repro.obs import Observability
@@ -102,12 +108,28 @@ class SystemConfig:
     transport_window: int = 1
     loss_rate: float = 0.0
     corruption_rate: float = 0.0
+    #: attempts before a guaranteed send becomes a dead letter
+    transport_max_retries: int = 1000
     #: automatic checkpoint policy installed on every node at boot:
     #: None, "young", "bound", or "storage" (§3.2.4 / §3.2.3 / §5.1)
     checkpoint_policy: Optional[str] = None
     #: parameters for the chosen policy
     checkpoint_mtbf_ms: float = 60_000.0
     recovery_bound_ms: float = 2_000.0
+    #: epidemic repair layer (publishing.gossip): nodes keep bounded
+    #: buffers of recent publications, the medium tolerates recorder
+    #: misses, and the recorder pulls log holes closed in gossip rounds
+    gossip: bool = False
+    gossip_buffer_depth: int = 256
+    gossip_round_ms: float = 150.0
+    gossip_fanout: int = 2
+    gossip_max_retries: int = 8
+    #: seed-pure loss probability on the recording/repair path (frames
+    #: missing every recorder; pull/supply datagrams dropped). Works
+    #: with gossip off too — then strict recorder enforcement plus
+    #: sender retransmission carries the load (the recorder-only arm
+    #: of the reliability-vs-overhead frontier).
+    gossip_loss_rate: float = 0.0
 
 
 class System:
@@ -137,9 +159,11 @@ class System:
                                 corruption_rate=self.config.corruption_rate,
                                 registry=self.obs.registry)
         self.medium = self._build_medium()
-        #: dead letters: (node_id, segment, attempts) for every
-        #: guaranteed message some transport finally gave up on
-        self.dead_letters: List[Tuple[int, object, int]] = []
+        #: dead letters: one :class:`DeadLetter` (origin node, segment,
+        #: attempts) for every guaranteed message some transport
+        #: finally gave up on — same shape as the federation-level
+        #: gateway ledger, so losslessness checks can sum both
+        self.dead_letters: List[DeadLetter] = []
         #: active partition rules, in installation order
         self._partitions: List[object] = []
         self.recorder: Optional[Recorder] = None
@@ -154,6 +178,21 @@ class System:
             self.config.services_node = first
         if self.recovery is not None:
             self.recovery.node_restarter = self._restart_node_later
+        #: epidemic repair layer (publishing.gossip) — built only when
+        #: enabled, so legacy configurations register no gossip metrics
+        #: and draw from no gossip RNG streams
+        self.gossip: Optional[GossipCoordinator] = None
+        self.reception_loss: Optional[ReceptionLoss] = None
+        if self.config.publishing and self.config.gossip_loss_rate > 0.0:
+            self.install_reception_loss(self.config.gossip_loss_rate)
+        if self.config.publishing and self.config.gossip:
+            self.gossip = GossipCoordinator(self, GossipConfig(
+                buffer_depth=self.config.gossip_buffer_depth,
+                round_ms=self.config.gossip_round_ms,
+                fanout=self.config.gossip_fanout,
+                max_retries=self.config.gossip_max_retries))
+            self.gossip.loss = self.reception_loss
+            self.recovery.gossip = self.gossip
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -199,6 +238,7 @@ class System:
                 backoff_factor=cfg.backoff_factor,
                 backoff_max_ms=cfg.backoff_max_ms,
                 backoff_jitter=cfg.backoff_jitter,
+                max_retries=cfg.transport_max_retries,
                 per_destination=True, window=1),
         )
         self.recorder = Recorder(self.engine, self.medium, recorder_config,
@@ -222,7 +262,11 @@ class System:
                 backoff_factor=cfg.backoff_factor,
                 backoff_max_ms=cfg.backoff_max_ms,
                 backoff_jitter=cfg.backoff_jitter,
-                require_recorder_ack=cfg.publishing,
+                max_retries=cfg.transport_max_retries,
+                # With the epidemic repair layer on, receivers keep
+                # frames the recorder missed: the gossip pull closes
+                # the log hole instead of a sender retransmission.
+                require_recorder_ack=cfg.publishing and not cfg.gossip,
                 window=cfg.transport_window,
                 ordered_window=cfg.transport_window > 1),
         )
@@ -234,10 +278,29 @@ class System:
         return node
 
     def _note_dead_letter(self, node_id: int, segment, attempts: int) -> None:
-        self.dead_letters.append((node_id, segment, attempts))
+        self.dead_letters.append(DeadLetter(node_id, segment, attempts))
         self.trace.emit("dead_letter", f"node{node_id}",
                         dst=getattr(segment, "dst_node", None),
                         attempts=attempts)
+
+    def install_reception_loss(self, rate: Optional[float] = None) -> ReceptionLoss:
+        """Install (or re-rate) seed-pure loss on the recording path.
+
+        Built lazily so loss-free systems make no ``gossip/loss`` RNG
+        draws and register no gossip counters; the chaos ``gossip_loss``
+        action lands here mid-run.
+        """
+        if self.reception_loss is None:
+            self.reception_loss = ReceptionLoss(
+                self.rng.stream("gossip/loss"),
+                self.config.gossip_loss_rate if rate is None else rate,
+                self.obs.registry)
+            self.medium.recorder_loss = self.reception_loss.lose_reception
+            if self.gossip is not None:
+                self.gossip.loss = self.reception_loss
+        elif rate is not None:
+            self.reception_loss.set_rate(rate)
+        return self.reception_loss
 
     def _restart_node_later(self, node_id: int) -> None:
         policy = self.config.reboot_policy
@@ -272,6 +335,9 @@ class System:
         spare = self._build_node(node_id)
         self.nodes[node_id] = spare
         spare.booted = True
+        if self.gossip is not None:
+            # The spare starts with an empty (not absent) gossip buffer.
+            self.gossip.attach_node(spare)
         self.trace.emit("spare", f"node{node_id}", event="takeover")
         return spare
 

@@ -118,6 +118,13 @@ CAMPAIGN_MATRIX = {
     "partition_heal": lambda: ChaosCampaign([
         Partition(1500.0, groups=((1,), (2, 3)), duration_ms=2200.0),
     ], name="partition_heal"),
+    # A bare recorder outage while publications are in flight: acks
+    # suspend (§3.3.4) and must resume cleanly at restart — the window
+    # neither wedges the senders nor silently loses a message.
+    "recorder_outage_mid_traffic": lambda: ChaosCampaign([
+        CrashRecorder(1500.0),
+        RestartRecorder(3300.0),
+    ], name="recorder_outage_mid_traffic"),
     # The disks freeze, the recorder dies mid-stall with a partial page
     # staged in the group-commit buffer, then comes back: the lost
     # staged bytes must not cost any replayable message (durability is

@@ -321,6 +321,51 @@ class TestGatewayDeadLetters:
         assert second.replies == [sum(range(1, k + 1)) for k in range(1, 4)]
 
 
+class TestDeadLetterLedger:
+    def test_entries_are_structured_and_tuple_compatible(self):
+        """Bugfix regression: both ledgers (system transport drops and
+        gateway custody losses) hold the same DeadLetter shape, and
+        legacy 3-tuple unpacking keeps working."""
+        from repro.net.frames import DeadLetter, Frame, FrameKind
+
+        letter = DeadLetter(9000, Frame(kind=FrameKind.DATA, src_node=1,
+                                        dst_node=101, payload="p",
+                                        size_bytes=64), 7)
+        origin, payload, attempts = letter
+        assert (origin, attempts) == (9000, 7)
+        assert letter.origin == 9000 and letter.attempts == 7
+        assert letter.payload is payload
+
+    def test_invariant_counts_gateway_custody_losses(self):
+        """Bugfix regression: the chaos ``no_dead_letters`` invariant
+        must see the federation's gateway ledger, not only the member
+        systems' transport ledgers."""
+        from repro.chaos import check_invariants
+
+        fed = build_federation((2, 1))
+        a, b = fed.clusters
+        counter_pid = b.spawn_program("test/counter", node=101)
+        b.medium.faults.corrupt_next(
+            lambda f, node: node == b.config.recorder_node_id
+            and f.kind.value == "data" and f.src_node >= 9000, count=10)
+        driver_pid = a.spawn_program("test/driver",
+                                     args=(tuple(counter_pid), 3), node=1)
+        fed.run(120)
+        gateway = next(g for g in fed.gateways if g.gateway_id == 9000)
+        gateway.crash()
+        fed.run(2000)
+        gateway.restart()
+        fed.run(5000)
+        assert len(fed.dead_letters) >= 1
+        assert a.dead_letters == []        # transports were satisfied
+        check = next(c for c in check_invariants(a)
+                     if c.name == "no_dead_letters")
+        assert not check.ok
+        assert "gateway custody losses" in check.detail
+        letter = fed.dead_letters[0]
+        assert letter.origin == 9000 and letter.attempts >= 1
+
+
 class TestGatewayChaos:
     def test_gateway_crash_mid_traffic_then_recovery(self):
         from repro.chaos import ChaosCampaign, GatewayCrash

@@ -155,3 +155,30 @@ class TestDualRecorders:
         assert a_ids == b_ids
         driver = nodes[1].kernel.processes[driver_pid].program
         assert len(driver.replies) == 5
+
+
+def test_crashed_recorder_window_is_counted_not_silent():
+    """Bugfix regression: while recorder 91 is down, the survivor keeps
+    publish acks flowing (no wedge) but every missing copy is tallied —
+    the outage window is observable, never silently 'stored'."""
+    engine, medium, recorders, managers, nodes, _ = \
+        build_dual_recorder_system()
+    counter_pid, driver_pid = spawn_pair(engine, nodes, n=40)
+    engine.run(until=engine.now + 800)
+    recorders[1].crash()
+    managers[1].stop()
+    before = medium.stats.recorder_copies_missed
+    deadline = engine.now + 180_000
+    while engine.now < deadline:
+        driver = nodes[1].kernel.processes.get(driver_pid)
+        if driver is not None and len(driver.program.replies) >= 40:
+            break
+        engine.run(until=engine.now + 1000)
+    driver = nodes[1].kernel.processes[driver_pid].program
+    assert len(driver.replies) == 40            # traffic never wedged
+    assert medium.stats.recorder_copies_missed > before
+    # and the survivor's log is complete for the whole window
+    record = recorders[0].db.get(counter_pid)
+    seqs = sorted(lm.message.msg_id.seq for lm in record.arrivals
+                  if not lm.message.deliver_to_kernel)
+    assert seqs == sorted(set(seqs))            # no duplicates either

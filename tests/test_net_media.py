@@ -184,3 +184,46 @@ def test_utilization_accounting():
     elapsed = engine.now
     assert bus.stats.busy_time_ms == pytest.approx(bus.tx_time_ms(1250))
     assert 0 < bus.stats.utilization(elapsed) <= 1.0
+
+
+def test_down_recorder_copy_is_counted_and_surfaced():
+    """Bugfix regression: a crashed recorder's missing copy must not be
+    a silent ``continue`` — the survivor still acks (§6.3), but the log
+    hole is counted and flagged as a ``recorder_copy_missed`` event."""
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), enforce=True)
+    rec_a, rec_b = [], []
+    a = NetworkInterface(90, rec_a.append, is_recorder=True)
+    b = NetworkInterface(91, rec_b.append, is_recorder=True)
+    bus.attach(a)
+    bus.attach(b)
+    b.up = False
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert len(inboxes[2]) == 1             # delivered, not wedged
+    assert bus.stats.recorder_copies_missed == 1
+    flagged = [e for e in bus.obs.bus.events
+               if e.category == "recorder_copy_missed"]
+    assert len(flagged) == 1
+    assert flagged[0].detail["copies"] == 1
+
+
+def test_all_recorders_down_still_stalls_without_counting_as_acked():
+    """With every recorder down the frame must stall (the §3.3.4
+    suspension), and the misses are still tallied per copy."""
+    engine = Engine()
+    bus, inboxes, _ = build_bus(engine, (1, 2), enforce=True)
+    a = NetworkInterface(90, [].append, is_recorder=True)
+    b = NetworkInterface(91, [].append, is_recorder=True)
+    bus.attach(a)
+    bus.attach(b)
+    a.up = False
+    b.up = False
+    bus.interfaces[0].send(data_frame(1, 2))
+    engine.run()
+    assert inboxes[2] == []
+    assert bus.stats.recorder_copies_missed == 2
+    # no survivor supplied the ack, so no misleading "copy missed but
+    # acked anyway" event fires
+    assert not [e for e in bus.obs.bus.events
+                if e.category == "recorder_copy_missed"]

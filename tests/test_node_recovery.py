@@ -200,3 +200,50 @@ class TestNodeRecovery:
         node2._replay.extend(recorder.events)
         node2.run()
         assert order_live == live
+
+
+class TestRepairReceipt:
+    def test_late_supply_restores_exact_recovery(self):
+        """A missed extranode receipt, supplied late in count order
+        (the §6.6.2 analog of the gossip repair path), makes recovery
+        bit-identical to an unbroken history."""
+        recorder = NodeRecorder()
+        missed = []
+
+        def leaky_report(event):
+            # the recorder "misses" the second receipt
+            if recorder.events:
+                missed.append(event)
+            else:
+                recorder.report_receipt(event)
+
+        node = build_node(report=leaky_report)
+        recorder.store_checkpoint(node.checkpoint())
+        node.receive_extranode("a", ("token", []))
+        node.run()
+        node.receive_extranode("b", ("token", ["x"]))
+        node.run()
+        states_before = {n: dict(p.state) for n, p in node.processes.items()}
+
+        assert len(missed) == 1
+        assert recorder.repair_receipt(missed[0])     # the gossip supply
+        assert [e.instruction_count for e in recorder.events] == \
+               sorted(e.instruction_count for e in recorder.events)
+        for proc in node.processes.values():
+            proc.state = {"name": proc.state.get("name", "?")}
+            proc.inbox.clear()
+        recorder.recover(node)
+        node.run()
+        states_after = {n: dict(p.state) for n, p in node.processes.items()}
+        assert states_after == states_before
+
+    def test_duplicates_and_covered_events_are_rejected(self):
+        recorder = NodeRecorder()
+        node = build_node(report=recorder.report_receipt)
+        node.receive_extranode("a", ("token", []))
+        node.run()
+        event = recorder.events[0]
+        assert not recorder.repair_receipt(event)     # already known
+        recorder.store_checkpoint(node.checkpoint())
+        stale = ExtranodeEvent(instruction_count=0, dst="a", payload="old")
+        assert not recorder.repair_receipt(stale)     # behind checkpoint

@@ -192,6 +192,53 @@ class TestReplayCursor:
             seen.append(lm.message.msg_id.seq)
         assert seen == [9, 10, 11, 12]
 
+    def test_exactly_once_across_retirement_with_appends(self):
+        """Recovery-replay audit: segments retire *while* the cursor is
+        mid-walk and fresh arrivals keep appending — every survivor is
+        yielded exactly once, none twice, none skipped."""
+        record = make_record(8, segment_records=4)
+        cursor = record.replay_cursor()
+        seen = [cursor.next().message.msg_id.seq,
+                cursor.next().message.msg_id.seq]
+        # checkpoint-driven compaction retires segment 0 under the
+        # cursor's feet (its _last_seq points into the dead segment)
+        record.apply_checkpoint(ckpt(4))
+        assert record.log.segments_retired == 1
+        record.record_message(make_message(9), 8)   # catch-up arrival
+        while (lm := cursor.next()) is not None:
+            seen.append(lm.message.msg_id.seq)
+        assert seen == [1, 2, 5, 6, 7, 8, 9]
+        assert len(seen) == len(set(seen))
+
+    def test_cursor_parked_on_retired_record_resumes_at_survivor(self):
+        record = make_record(12, segment_records=4)
+        cursor = record.replay_cursor()
+        for _ in range(6):          # park inside segment 1 (seqs 4..7)
+            cursor.next()
+        record.apply_checkpoint(ckpt(8))   # retires segments 0 and 1
+        assert record.log.segments_retired == 2
+        assert cursor.next().message.msg_id.seq == 9
+
+    def test_partial_compaction_keeps_cursor_position(self):
+        """A mostly-dead segment compacts (live records rewritten at
+        the same seqs): the cursor's bisect resync must not re-yield or
+        lose the survivors."""
+        record = make_record(8, segment_records=8)
+        cursor = record.replay_cursor()
+        assert cursor.next().message.msg_id.seq == 1
+        # invalidate 2..6 (the setter routes through the owning record
+        # into the log): >half the sealed segment's bytes die, so the
+        # GC compacts it in place rather than retiring it
+        for seq in range(2, 7):
+            record._live[seq - 1].invalid = True
+        assert record.log.segments_retired == 0
+        record.record_message(make_message(9), 8)
+        survivors = []
+        while (lm := cursor.next()) is not None:
+            if not lm.invalid:
+                survivors.append(lm.message.msg_id.seq)
+        assert survivors == [7, 8, 9]
+
     def test_cursor_at_arrival_uses_sparse_anchors(self):
         record = make_record(100)
         assert len(record._anchors) > 1     # sparse index actually built
