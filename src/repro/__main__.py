@@ -350,6 +350,63 @@ def _cmd_gossip(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    """The quorum acceptance scenario (docs/ADVERSARY.md).
+
+    A 2f+1 recorder cluster acknowledges all traffic; mid-run the last
+    ``--byzantine`` recorders turn Byzantine, then the counter's node
+    crashes so recovery must replay through the cross-recorder vote.
+    With ``byzantine <= f`` the run must land exactly and flag only the
+    faulty recorders; beyond f the corruption must be *detected* —
+    divergence or unresolved-vote events, never a silent wrong total.
+    """
+    from repro.chaos.adversary import run_quorum_scenario
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+
+    def run_once():
+        return run_quorum_scenario(
+            f=args.f, byzantine=args.byzantine, messages=args.messages,
+            master_seed=args.seed, modes=modes, rate=args.rate,
+            equivocate=args.equivocate)
+
+    result = run_once()
+    identical = None
+    if args.verify_determinism:
+        identical = result.event_stream() == run_once().event_stream()
+    ok = result.ok and identical is not False
+    payload = dict(result.report)
+    if identical is not None:
+        payload["replay_identical"] = identical
+    payload["ok"] = ok
+    if args.json:
+        _write_or_print(json.dumps(payload, indent=2, sort_keys=True),
+                        args.output)
+    else:
+        r = result.report
+        lines = [
+            f"adversary quorum — {'PASS' if ok else 'FAIL'} "
+            f"(f={r['f']}, {r['byzantine']}/{r['recorders']} byzantine, "
+            f"seed {r['seed']})",
+            f"  workload: total={r['total']} expected={r['expected']} "
+            f"exact={r['exact']}",
+            f"  faults injected: {r['faults_injected']} "
+            f"(modes {','.join(r['modes'])} at rate {r['rate']})",
+            f"  quorum: replays={r['quorum_replays']} "
+            f"divergences={r['quorum_divergences']} "
+            f"unresolved={r['quorum_unresolved']} "
+            f"outvoted={r['outvoted']}",
+        ]
+        if r["flagged_honest"]:
+            lines.append(f"  FLAGGED HONEST RECORDERS: "
+                         f"{r['flagged_honest']}")
+        if identical is not None:
+            lines.append("  replay: second run "
+                         + ("bit-identical" if identical else "DIVERGED"))
+        _write_or_print("\n".join(lines), args.output)
+    return 0 if ok else 1
+
+
 def _chaos_matrix(args: argparse.Namespace) -> int:
     """``chaos --runs K [--parallel N]``: a sharded seed matrix."""
     from repro.parallel import chaos_matrix_tasks, run_tasks, sweep_digest
@@ -612,6 +669,35 @@ def main(argv=None) -> int:
                         help="write the report to this file instead of "
                              "stdout")
     gossip.set_defaults(fn=_cmd_gossip)
+
+    adversary = sub.add_parser(
+        "adversary", help="Byzantine-recorder quorum acceptance "
+                          "scenario: 2f+1 recorders outvote faulty "
+                          "logs during replay (docs/ADVERSARY.md)")
+    adversary.add_argument("--seed", type=int, default=1983)
+    adversary.add_argument("--f", type=int, default=1,
+                           help="fault tolerance: 2f+1 recorders run")
+    adversary.add_argument("--byzantine", type=int, default=1,
+                           help="how many recorders turn Byzantine")
+    adversary.add_argument("--messages", type=int, default=30,
+                           help="request/reply round trips")
+    adversary.add_argument("--modes",
+                           default="drop,corrupt,duplicate,reorder",
+                           help="comma-separated Byzantine fault modes")
+    adversary.add_argument("--rate", type=float, default=0.3,
+                           help="per-record fault probability")
+    adversary.add_argument("--equivocate", action="store_true",
+                           help="faulty recorders also log shared "
+                                "divergent payloads")
+    adversary.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+    adversary.add_argument("--verify-determinism", action="store_true",
+                           help="run the scenario twice and require "
+                                "bit-identical event streams")
+    adversary.add_argument("--output", default=None,
+                           help="write the report to this file instead "
+                                "of stdout")
+    adversary.set_defaults(fn=_cmd_adversary)
 
     sweep = sub.add_parser(
         "sweep", help="shard an evaluation sweep over worker processes "

@@ -337,6 +337,28 @@ def build_report(system, campaign: ChaosCampaign,
             "messages_replayed": stats.messages_replayed,
             "node_crashes_detected": stats.node_crashes_detected,
         })
+    # Adversary / quorum figures appear only when those faults ran, so
+    # reports from campaigns that never armed them stay byte-identical.
+    if "adversary.faults_injected" in snapshot:
+        figures["adversary_faults"] = snapshot["adversary.faults_injected"]
+        for mode, counter in (("drops", "adversary.drops"),
+                              ("duplicates", "adversary.duplicates"),
+                              ("corruptions", "adversary.corruptions"),
+                              ("reorders", "adversary.reorders"),
+                              ("bitrot", "adversary.bitrot"),
+                              ("equivocations", "adversary.equivocations"),
+                              ("evictions", "adversary.evictions"),
+                              ("backpressure",
+                               "adversary.backpressure_advisories")):
+            if counter in snapshot:
+                figures[f"adversary_{mode}"] = snapshot[counter]
+    if "quorum.replays" in snapshot:
+        figures.update({
+            "quorum_replays": snapshot.get("quorum.replays", 0),
+            "quorum_divergences": snapshot.get("quorum.divergences", 0),
+            "quorum_unresolved": snapshot.get("quorum.unresolved", 0),
+            "quorum_stale_skips": snapshot.get("quorum.stale_skips", 0),
+        })
     fired = [{"at_ms": at_ms, "kind": action.kind,
               "subject": action.subject(), "applied": applied}
              for at_ms, action, applied in campaign.fired]

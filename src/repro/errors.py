@@ -41,6 +41,19 @@ class RecorderError(ReproError):
     """The publishing recorder detected an inconsistency."""
 
 
+class RecordCorruptionError(RecorderError):
+    """A logged record failed its checksum on a verified read.
+
+    Raised by :class:`repro.publishing.store.ReplayCursor` when opened
+    with ``verify=True``; the cursor position has already advanced past
+    the bad record, so callers may skip it and keep reading.
+    """
+
+
+class QuorumDivergenceError(RecorderError):
+    """Quorum replay could not reconcile the recorder streams."""
+
+
 class RecoveryError(ReproError):
     """Process or recorder recovery could not make progress."""
 

@@ -864,6 +864,136 @@ def gossip_repair(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+#: adversary_quorum cells: (recorders 2f+1, faulty, messages per log)
+_ADVERSARY_FULL = ((3, 1, 400), (5, 2, 400), (7, 3, 300), (5, 2, 1200))
+_ADVERSARY_SMOKE = ((3, 1, 60), (5, 2, 60))
+
+
+def adversary_quorum(seed: int, smoke: bool) -> Dict[str, Any]:
+    """Quorum-replay throughput against Byzantine recorder logs.
+
+    Each cell feeds one ground-truth message stream into 2f+1 recorder
+    databases — the last ``faulty`` of them through a seed-pure
+    :class:`~repro.chaos.adversary.ByzantineRecorder` stage — then
+    wall-times the cross-recorder majority vote
+    (:func:`~repro.publishing.multi_recorder.quorum_replay_stream`).
+    The ≤f contract is enforced inline: the majority stream must digest
+    to the fault-free state and only faulty recorders may be flagged;
+    the digest folds the flagged set too, so the compare gate pins the
+    detection behaviour, not just the winner.  A final end-to-end cell
+    runs the live acceptance rig (Byzantine stage armed mid-traffic,
+    node crash, quorum recovery), which supplies the workload's
+    engine-event and simulated-time figures.
+    """
+    from repro.chaos.adversary import (ByzantineRecorder, feed_record,
+                                       run_quorum_scenario)
+    from repro.demos.ids import MessageId, ProcessId
+    from repro.demos.messages import Message
+    from repro.publishing.database import RecorderDatabase
+    from repro.publishing.multi_recorder import (process_state_digest,
+                                                 quorum_replay_stream)
+
+    src = ProcessId(1, 5)
+    dst = ProcessId(2, 9)
+
+    def message(i: int) -> Message:
+        return Message(msg_id=MessageId(src, i), src=src, dst=dst,
+                       channel=0, code=1, body=("add", i, i * i),
+                       size_bytes=24)
+
+    def build(messages: int, stage=None):
+        db = RecorderDatabase()
+        record = db.create(dst, node=dst.node, image="perf/counter")
+        for i in range(1, messages + 1):
+            feed_record(record, db, message(i), stage=stage)
+        return record
+
+    cells = _ADVERSARY_SMOKE if smoke else _ADVERSARY_FULL
+    rows: List[Dict[str, Any]] = []
+    digest = 0
+    ops = 0
+    wall_ms = 0.0
+    for index, (recorders, faulty, messages) in enumerate(cells):
+        f = (recorders - 1) // 2
+        truth = process_state_digest(build(messages).arrivals)
+        records = []
+        for k in range(recorders):
+            stage = None
+            if k >= recorders - faulty:
+                stage = ByzantineRecorder(
+                    random.Random(seed * 1000003 + index * 131 + k),
+                    rate=0.3)
+            records.append((90 + k, build(messages, stage)))
+        start = time.perf_counter()
+        verdict = quorum_replay_stream(records, f=f)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        wall_ms += elapsed
+        majority = process_state_digest(verdict.stream)
+        flagged = sorted(verdict.divergent)
+        honest_flagged = [rid for rid in flagged
+                          if rid < 90 + recorders - faulty]
+        if faulty <= f and (majority != truth or honest_flagged
+                            or verdict.unresolved):
+            raise PerfDivergence(
+                f"adversary_quorum[{recorders}r/{faulty}b]: <=f replay "
+                f"diverged (digest match {majority == truth}, honest "
+                f"flagged {honest_flagged}, unresolved "
+                f"{verdict.unresolved})")
+        ops += verdict.replayed
+        digest = (digest * 1000003 + majority) % _HASH_MOD
+        for rid in flagged:
+            digest = (digest * 1000003 + rid) % _HASH_MOD
+        digest = (digest * 1000003 + verdict.unresolved) % _HASH_MOD
+        rows.append({
+            "recorders": recorders,
+            "faulty": faulty,
+            "messages": messages,
+            "replayed": verdict.replayed,
+            "flagged": flagged,
+            "stale_skips": verdict.stale_skips,
+            "unresolved": verdict.unresolved,
+            "wall_ms": round(elapsed, 3),
+            "records_per_s": round(
+                verdict.replayed / (elapsed / 1000.0), 1)
+            if elapsed > 0 else 0.0,
+        })
+    # One live rig cell: Byzantine stage armed mid-traffic, node crash,
+    # recovery through the shared quorum vote.  Its engine gives the
+    # workload real event/sim figures, and folding its totals into the
+    # digest pins the end-to-end path, not just the offline vote.
+    rig = run_quorum_scenario(f=1, byzantine=1,
+                              messages=8 if smoke else 30,
+                              master_seed=seed)
+    report = rig.report
+    if not report["ok"]:
+        raise PerfDivergence(
+            "adversary_quorum rig: scenario invariants failed "
+            f"(total {report['total']} expected {report['expected']}, "
+            f"flagged honest {report['flagged_honest']})")
+    digest = (digest * 1000003 + report["total"]) % _HASH_MOD
+    for rid in report["outvoted"]:
+        digest = (digest * 1000003 + rid) % _HASH_MOD
+    rows.append({
+        "recorders": report["recorders"],
+        "faulty": report["byzantine"],
+        "messages": report["messages"],
+        "replayed": report["messages_replayed"],
+        "flagged": list(report["outvoted"]),
+        "stale_skips": report["quorum_stale_skips"],
+        "unresolved": report["quorum_unresolved"],
+        "mode": "rig",
+    })
+    return {
+        "ops": ops + report["messages_replayed"],
+        "events": rig.engine.events_fired,
+        "sim_ms": round(report["sim_ms"], 6),
+        "wall_ms": round(wall_ms, 6),
+        "replay_digest": digest,
+        "cells": len(cells) + 1,
+        "frontier": rows,
+    }
+
+
 #: name -> workload function, in canonical report order
 WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "engine_churn": engine_churn,
@@ -876,4 +1006,5 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "sweep_scaling": sweep_scaling,
     "parallel_des": parallel_des,
     "gossip_repair": gossip_repair,
+    "adversary_quorum": adversary_quorum,
 }

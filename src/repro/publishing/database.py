@@ -56,7 +56,8 @@ class LoggedMessage:
     performs the invalidation.
     """
 
-    __slots__ = ("message", "arrival_index", "_invalid", "seq", "_record")
+    __slots__ = ("message", "arrival_index", "_invalid", "seq", "_record",
+                 "checksum")
 
     def __init__(self, message: Message, arrival_index: int,
                  invalid: bool = False):
@@ -65,6 +66,7 @@ class LoggedMessage:
         self._invalid = invalid
         self.seq = -1
         self._record: Optional["ProcessRecord"] = None
+        self.checksum: Optional[int] = None   # stamped by SegmentedLog.append
 
     @property
     def invalid(self) -> bool:
@@ -217,6 +219,17 @@ class ProcessRecord:
         """Store one overheard message; returns False for duplicates."""
         if message.msg_id in self.recorded_ids:
             return False
+        self.force_append(message, arrival_index)
+        return True
+
+    def force_append(self, message: Message,
+                     arrival_index: int) -> LoggedMessage:
+        """Append unconditionally, bypassing duplicate suppression.
+
+        This is the raw append path ``record_message`` guards; only the
+        adversarial actors call it directly, to model a Byzantine
+        recorder that double-logs a record.
+        """
         self.recorded_ids.add(message.msg_id)
         lm = LoggedMessage(message, arrival_index)
         lm._record = self
@@ -234,7 +247,7 @@ class ProcessRecord:
             self._controls_seen += 1
         elif not lm.is_marker:
             self._sim_queue.append(lm)
-        return True
+        return lm
 
     def note_sent(self, seq: int) -> None:
         """Track the highest send sequence seen from this process."""
@@ -389,12 +402,18 @@ class ProcessRecord:
         self._valid_cursor = i
         return i
 
-    def replay_cursor(self) -> ReplayCursor:
+    def replay_cursor(self, verify: bool = False) -> ReplayCursor:
         """A cursor over the records to inspect for replay, starting at
         the first valid one — the §4.7 recovery loop walks this instead
         of rescanning the log from position zero, and can keep calling
-        ``next()`` as fresh arrivals append during catch-up."""
-        return ReplayCursor(self, self._skip_invalid_prefix())
+        ``next()`` as fresh arrivals append during catch-up.
+
+        ``verify=True`` re-checksums every yielded record (the quorum /
+        recovery read path); corruption raises
+        :class:`~repro.errors.RecordCorruptionError` instead of handing
+        back a mangled record."""
+        return ReplayCursor(self, self._skip_invalid_prefix(),
+                            verify=verify)
 
     def cursor_at_arrival(self, arrival_index: int) -> ReplayCursor:
         """A cursor positioned at the first record whose arrival index

@@ -41,7 +41,12 @@ from repro.net.frames import Frame, FrameKind
 from repro.net.media import Medium
 from repro.net.transport import Segment, Transport, TransportConfig
 from repro.obs import Observability
-from repro.publishing.database import CheckpointEntry, ProcessRecord, RecorderDatabase
+from repro.publishing.database import (
+    CheckpointEntry,
+    LoggedMessage,
+    ProcessRecord,
+    RecorderDatabase,
+)
 from repro.publishing.disk import DiskArray, DiskParams, PageBuffer
 from repro.publishing.stable_storage import StableStorage
 from repro.publishing.store import SegmentedLog
@@ -132,6 +137,12 @@ class Recorder:
         #: the record path feeds the coordinator's gap tracker and
         #: gossip supplies are applied through :meth:`record_repair`.
         self.gossip = None
+        #: adversarial interception seam (chaos.adversary): when set,
+        #: every confirmed delivery routes through the stage pipeline,
+        #: which may drop, reorder, duplicate, or corrupt what this
+        #: recorder logs. Recovery markers are exempt — a marker is the
+        #: recovery protocol's own traffic, not a published record.
+        self.intercept = None
         self._seen_control_uids: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
         self._marker_seq = itertools.count(1)
         # Resolved once: the per-message CPU charge is fixed by the
@@ -230,12 +241,32 @@ class Recorder:
         message = segment.body
         if not isinstance(message, Message):
             return
+        intercept = self.intercept
+        if intercept is not None and not message.recovery_marker:
+            for replacement, forced in intercept.deliveries(message):
+                lm = self._confirm_recorded(replacement, forced=forced)
+                if lm is not None:
+                    intercept.note_confirmed(lm)
+            return
+        self._confirm_recorded(message)
+
+    def _confirm_recorded(self, message: Message,
+                          forced: bool = False) -> Optional["LoggedMessage"]:
+        """Append one confirmed delivery to the replay log; returns the
+        logged record, or None when it was filtered or a duplicate.
+        ``forced`` bypasses duplicate suppression (Byzantine
+        double-logging)."""
         record = self.db.get(message.dst)
         if record is None or (self.config.selective and not record.recoverable):
-            return
-        if not record.confirm_message(message,
-                                      self.db.allocate_arrival_index()):
-            return          # duplicate delivery observation
+            return None
+        index = self.db.allocate_arrival_index()
+        if forced:
+            record.staged.pop(message.msg_id, None)
+            lm = record.force_append(message, index)
+        else:
+            if not record.confirm_message(message, index):
+                return None          # duplicate delivery observation
+            lm = record._live[-1]
         self._messages_recorded.inc()
         sender = self.db.get(message.src)
         if sender is not None:
@@ -244,6 +275,7 @@ class Recorder:
         signal = self._arrival_signals.get(message.dst)
         if signal is not None:
             signal.fire(message.msg_id)
+        return lm
 
     def arrival_signal(self, pid: ProcessId) -> Signal:
         """A signal fired whenever a new message for ``pid`` is recorded

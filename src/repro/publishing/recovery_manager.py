@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.demos.ids import ProcessId, kernel_pid
 from repro.demos.messages import Control
+from repro.errors import RecordCorruptionError
 from repro.publishing.database import ProcessRecord
 from repro.publishing.recorder import Recorder
 from repro.publishing.watchdog import Watchdog
@@ -60,10 +61,12 @@ class RecoveryStats:
     node_crashes_detected: int = 0
     process_crash_reports: int = 0
     stale_state_replies: int = 0
+    corrupt_records_skipped: int = 0
 
     FIELDS = ("recoveries_started", "recoveries_completed",
               "messages_replayed", "node_crashes_detected",
-              "process_crash_reports", "stale_state_replies")
+              "process_crash_reports", "stale_state_replies",
+              "corrupt_records_skipped")
 
 
 class RecoveryManager:
@@ -256,14 +259,29 @@ class RecoveryManager:
         # 3-5. Stream the log; mark; catch up. The cursor walks the
         # per-process index from the first valid record — O(records
         # replayed), not O(log length) — and keeps yielding fresh
-        # arrivals appended while this recovery catches up.
-        cursor = record.replay_cursor()
+        # arrivals appended while this recovery catches up. With a
+        # quorum ensemble attached, the cursor votes across every live
+        # recorder's stream instead of trusting this log alone; either
+        # way reads are checksum-verified, and a corrupt record is
+        # counted and skipped rather than replayed mangled.
+        quorum = getattr(self.coordinator, "quorum", None) \
+            if self.coordinator is not None else None
+        if quorum is not None:
+            cursor = quorum.cursor(rec, record, epoch)
+        else:
+            cursor = record.replay_cursor(verify=True)
         replayed = 0
         marker = None
         while True:
             if self._superseded(record, epoch):
                 return
-            logged = cursor.next()
+            try:
+                logged = cursor.next()
+            except RecordCorruptionError as exc:
+                self.stats.corrupt_records_skipped += 1
+                self.trace.emit("recovery", str(pid),
+                                event="corrupt_record", error=str(exc))
+                continue
             if logged is not None:
                 message = logged.message
                 if marker is not None and message.msg_id == marker.msg_id:

@@ -38,12 +38,30 @@ deadline) lives in :class:`~repro.publishing.disk.PageBuffer`.
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from zlib import crc32
+
+from repro.errors import RecordCorruptionError
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard
     from repro.publishing.database import LoggedMessage
 
 #: io callback signature: (op, size_bytes) -> completion time
 IoSubmit = Callable[[str, int], float]
+
+
+def payload_digest(message) -> int:
+    """A deterministic checksum over everything replay depends on.
+
+    crc32 over the canonical repr of the message fields — cheap enough
+    to stamp on every append, stable across processes and platforms
+    (unlike ``hash()``, which is salted for strings). Two messages agree
+    on the digest iff a replayed process could not tell them apart.
+    """
+    return crc32(repr((message.msg_id, message.src, message.dst,
+                       message.channel, message.code, message.body,
+                       message.size_bytes, message.deliver_to_kernel,
+                       message.recovery_marker))
+                 .encode("utf-8", "backslashreplace"))
 
 
 class LogSegment:
@@ -122,6 +140,7 @@ class SegmentedLog:
                                  self.segment_records)
             self._segments[number] = segment
         segment.records.append(record)             # type: ignore[union-attr]
+        record.checksum = payload_digest(record.message)
         size = record.message.size_bytes
         segment.live += 1
         segment.live_bytes += size
@@ -228,14 +247,21 @@ class ReplayCursor:
     while compaction drops dead ones. ``next()`` returns each surviving
     record once (valid or not — the §4.4.3 replay loop decides what to
     skip) and None when it has caught up with the head of the log.
+
+    With ``verify=True`` every returned record is re-checksummed against
+    the digest stamped at append time; a mismatch raises
+    :class:`~repro.errors.RecordCorruptionError` *after* the cursor has
+    advanced past the bad record, so a caller may catch, count, and keep
+    reading — a mangled record is never silently yielded.
     """
 
-    __slots__ = ("_record", "_pos", "_last_seq")
+    __slots__ = ("_record", "_pos", "_last_seq", "_verify")
 
-    def __init__(self, record, pos: int = 0):
+    def __init__(self, record, pos: int = 0, verify: bool = False):
         self._record = record
         self._pos = pos               # index into the per-process seq list
         self._last_seq = -1 if pos == 0 else record._seqs[pos - 1]
+        self._verify = verify
 
     def next(self) -> Optional["LoggedMessage"]:
         seqs = self._record._seqs
@@ -253,6 +279,11 @@ class ReplayCursor:
             self._last_seq = seq
             lm = log.get(seq)
             if lm is not None:
+                if (self._verify and lm.checksum is not None
+                        and lm.checksum != payload_digest(lm.message)):
+                    raise RecordCorruptionError(
+                        f"record seq={seq} for {lm.message.msg_id} failed "
+                        "its checksum")
                 return lm
             # compacted away: it was invalid, the replay loop would have
             # skipped it anyway

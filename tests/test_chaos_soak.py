@@ -15,10 +15,12 @@ import pytest
 
 from repro import System, SystemConfig
 from repro.chaos import (
+    ByzantineRecorderFault,
     ChaosCampaign,
     CrashNode,
     CrashRecorder,
     DiskStall,
+    EquivocateSender,
     Partition,
     RestartRecorder,
     run_scenario,
@@ -134,6 +136,22 @@ CAMPAIGN_MATRIX = {
         CrashRecorder(2200.0),
         RestartRecorder(4400.0),
     ], name="disk_stall_recorder_crash"),
+    # The recorder turns Byzantine mid-traffic: records are dropped,
+    # duplicated, corrupted, or reordered on its log while acks keep
+    # flowing. A dropped record means a missing ack, so the sender
+    # retransmits until a faithful copy lands — the workload must still
+    # finish exactly, and the fault tally must be visible in the
+    # report's adversary figures (docs/ADVERSARY.md).
+    "byzantine_recorder_mid_traffic": lambda: ChaosCampaign([
+        ByzantineRecorderFault(1200.0, rate=0.35, duration_ms=2600.0),
+    ], name="byzantine_recorder_mid_traffic"),
+    # The recorder logs equivocated payloads under the senders' ids:
+    # delivery is untouched (the workload stays exact) but the log now
+    # disagrees with what every receiver saw — exactly the silent
+    # divergence only a cross-recorder quorum can catch.
+    "equivocating_sender": lambda: ChaosCampaign([
+        EquivocateSender(1400.0, rate=0.5, duration_ms=2400.0),
+    ], name="equivocating_sender"),
 }
 
 

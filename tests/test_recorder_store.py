@@ -248,6 +248,62 @@ class TestReplayCursor:
         assert record.cursor_at_arrival(1000).next() is None
 
 
+class TestVerifiedReplay:
+    """Bugfix regression: a corrupted segment record must surface as a
+    typed error on a verified read — never be yielded mangled into a
+    recovering process."""
+
+    @staticmethod
+    def corrupt(record, seq):
+        from dataclasses import replace
+        lm = record._live[seq - 1]
+        lm.message = replace(lm.message, body=("bitrot", lm.message.body))
+        return lm
+
+    def test_append_stamps_a_checksum(self):
+        record = make_record(3)
+        assert all(lm.checksum is not None for lm in record.arrivals)
+
+    def test_verified_cursor_raises_typed_error_on_corruption(self):
+        from repro.errors import RecordCorruptionError
+        record = make_record(5)
+        self.corrupt(record, 3)
+        cursor = record.replay_cursor(verify=True)
+        assert cursor.next().message.msg_id.seq == 1
+        assert cursor.next().message.msg_id.seq == 2
+        with pytest.raises(RecordCorruptionError) as exc:
+            cursor.next()
+        assert isinstance(exc.value, RecorderError)   # typed subclass
+
+    def test_verified_cursor_skips_and_continues(self):
+        """The cursor position has already advanced past the bad
+        record, so a caller that catches the error resumes cleanly."""
+        from repro.errors import RecordCorruptionError
+        record = make_record(5)
+        self.corrupt(record, 2)
+        self.corrupt(record, 4)
+        cursor = record.replay_cursor(verify=True)
+        seen, corrupt = [], 0
+        while True:
+            try:
+                lm = cursor.next()
+            except RecordCorruptionError:
+                corrupt += 1
+                continue
+            if lm is None:
+                break
+            seen.append(lm.message.msg_id.seq)
+        assert seen == [1, 3, 5]
+        assert corrupt == 2
+
+    def test_unverified_cursor_does_not_checksum(self):
+        record = make_record(3)
+        self.corrupt(record, 2)
+        cursor = record.replay_cursor()
+        seen = [cursor.next().message.msg_id.seq for _ in range(3)]
+        assert seen == [1, 2, 3]
+
+
 class TestLoggedMessageInvalidation:
     def test_revalidation_is_refused(self):
         record = make_record(1)
