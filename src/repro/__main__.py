@@ -502,12 +502,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_des(args: argparse.Namespace) -> int:
     from repro.parallel.des import DesScenario, equivalence_report
 
+    forward_delays = None
+    if args.spread_delays:
+        # A deterministic heterogeneous lookahead assignment: every
+        # third ring edge gets its own delay.
+        forward_delays = tuple(
+            ((i, (i + 1) % args.clusters), 3.0 + (i % 5) * 2.0)
+            for i in range(0, args.clusters, 3))
     scenario = DesScenario(clusters=args.clusters,
                            cluster_size=args.cluster_size,
                            messages=args.messages,
                            duration_ms=args.duration,
                            topology=args.topology,
-                           master_seed=args.seed)
+                           master_seed=args.seed,
+                           forward_delays=forward_delays,
+                           recorder_lps=args.recorder_lps,
+                           lockstep=args.lockstep,
+                           batch_ms=args.batch_ms)
     counts = tuple(args.des_workers or [2])
     report = equivalence_report(scenario, worker_counts=counts,
                                 include_staged=True,
@@ -549,7 +560,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             output = "BENCH_publishing.json"
     return perf_main(seed=args.seed, smoke=args.smoke, output=output,
                      only=args.workload or None, compare=args.compare,
-                     tolerance=args.tolerance, parallel=args.parallel)
+                     tolerance=args.tolerance, parallel=args.parallel,
+                     best_of=args.best_of)
 
 
 def main(argv=None) -> int:
@@ -762,6 +774,19 @@ def main(argv=None) -> int:
                           "default 2)")
     des.add_argument("--no-pool", action="store_true",
                      help="skip the process-pool runs (staged only)")
+    des.add_argument("--recorder-lps", action="store_true",
+                     help="split each cluster's recorder onto its own "
+                          "LP behind zero-lookahead bridge channels")
+    des.add_argument("--lockstep", action="store_true",
+                     help="use the global-min-window baseline protocol "
+                          "instead of next-event promises")
+    des.add_argument("--batch-ms", type=float, default=None,
+                     metavar="MS",
+                     help="cap how far one barrier may advance any LP "
+                          "(default: unbounded idle fast-forward)")
+    des.add_argument("--spread-delays", action="store_true",
+                     help="assign heterogeneous per-edge gateway "
+                          "delays instead of one uniform lookahead")
     des.add_argument("--check", action="store_true",
                      help="exit 1 unless every mode's digest matches "
                           "the serial run byte-for-byte")
@@ -789,6 +814,12 @@ def main(argv=None) -> int:
                       help="fail (exit 1) if any workload's ops/sec "
                            "regressed more than --tolerance vs this "
                            "earlier report")
+    perf.add_argument("--best-of", type=int, default=3, metavar="N",
+                      help="interleaved suite passes, fastest pass kept "
+                           "per workload: measures the noise floor "
+                           "instead of one scheduler sample, and spaces "
+                           "repetitions so one load burst cannot bias a "
+                           "workload's figure (default 3)")
     perf.add_argument("--tolerance", type=float, default=0.25,
                       help="allowed fractional throughput drop for "
                            "--compare (default 0.25)")

@@ -429,7 +429,11 @@ class ClusterFederation:
                  configs: Optional[List[SystemConfig]] = None,
                  partitions: Optional[int] = None,
                  topology: str = "mesh",
-                 only_partition: Optional[int] = None):
+                 only_partition: Optional[int] = None,
+                 forward_delays: Optional[Dict[Tuple[int, int], float]] = None,
+                 recorder_lps: bool = False,
+                 lockstep: bool = False,
+                 batch_ms: Optional[float] = None):
         if not cluster_sizes:
             raise NetworkError("a federation needs at least one cluster")
         count = len(cluster_sizes)
@@ -445,6 +449,19 @@ class ClusterFederation:
             raise NetworkError(f"partitions must be >= 1, got {partitions}")
         self.topology = topology
         self.forward_delay_ms = forward_delay_ms
+        #: directed (src_cluster, dst_cluster) -> forwarding delay;
+        #: edges not listed fall back to ``forward_delay_ms``. The delay
+        #: is both the gateway's store-and-forward latency and the
+        #: matching channel's lookahead, so a slow edge buys its
+        #: destination a *wider* safe window instead of throttling
+        #: everyone to the global minimum.
+        self.forward_delays: Dict[Tuple[int, int], float] = dict(
+            forward_delays or {})
+        for edge, delay in self.forward_delays.items():
+            if delay <= 0:
+                raise NetworkError(
+                    f"forward delay for edge {edge} must be positive, "
+                    f"got {delay}")
         self.partitions = (None if partitions is None
                            else min(partitions, count))
         lps = self.partitions or 1
@@ -456,6 +473,15 @@ class ClusterFederation:
                     f"only_partition {only_partition} out of range "
                     f"(partitions={lps})")
         self.only_partition = only_partition
+        #: recorder LPs: when partitioned, each cluster's recorder runs
+        #: on its own engine (LP id ``partitions + cluster_index``)
+        #: bridged to the cluster medium by zero-lookahead channels
+        #: whose safety comes from next-event promises plus the
+        #: medium's interpacket-gap spacing (see repro.system). Ignored
+        #: for the serial reference engine.
+        self.recorder_lps = bool(recorder_lps and self.partitions is not None)
+        self.lockstep = lockstep
+        self.batch_ms = batch_ms
 
         # Per-cluster configs: copied before the federation assigns the
         # id layout, so caller-owned config objects are never mutated.
@@ -485,13 +511,30 @@ class ClusterFederation:
         #: cluster index -> System, local clusters only (all of them
         #: unless this is a slice)
         self.systems: Dict[int, System] = {}
+        #: bridge channels of local recorder LPs (a subset of
+        #: ``self.channels``); the recorder LP of cluster ``i`` has LP
+        #: id ``partitions + i``
+        self.bridge_channels: List[PartitionChannel] = []
         for index, config in enumerate(self.configs):
             lp = lp_of(index)
             if lp in self.engines:
-                system = System(config, engine=self.engines[lp])
+                recorder_engine = None
+                if self.recorder_lps and config.publishing:
+                    recorder_engine = Engine()
+                system = System(config, engine=self.engines[lp],
+                                recorder_engine=recorder_engine)
                 system.federation = self
                 system.cluster_index = index
                 self.systems[index] = system
+                if recorder_engine is not None:
+                    recorder_lp = lps + index
+                    self.engines[recorder_lp] = recorder_engine
+                    for channel in system.bridge_channels:
+                        channel.src = (lp if channel.src == 0
+                                       else recorder_lp)
+                        channel.dst = (lp if channel.dst == 0
+                                       else recorder_lp)
+                        self.bridge_channels.append(channel)
         self.clusters: List[System] = [self.systems[i]
                                        for i in sorted(self.systems)]
         #: one :class:`DeadLetter` (gateway_id, frame, attempts) for
@@ -501,9 +544,10 @@ class ClusterFederation:
         self.dead_letters: List[DeadLetter] = []
 
         self.gateways: List[Gateway] = []
-        self.channels: List[PartitionChannel] = []
+        self.channels: List[PartitionChannel] = list(self.bridge_channels)
         for gid, src, dst in directed_gateways(count, topology):
             src_lp, dst_lp = lp_of(src), lp_of(dst)
+            delay = self.forward_delays.get((src, dst), forward_delay_ms)
             far_nodes = (lambda node, _far=self._node_sets[dst]: node in _far)
             if src_lp == dst_lp:
                 if src_lp not in self.engines:
@@ -511,7 +555,7 @@ class ClusterFederation:
                 self.gateways.append(Gateway(
                     self.engines[src_lp], self.systems[src].medium,
                     self.systems[dst].medium, far_nodes,
-                    forward_delay_ms=forward_delay_ms, gateway_id=gid,
+                    forward_delay_ms=delay, gateway_id=gid,
                     near_obs=self.systems[src].obs,
                     far_obs=self.systems[dst].obs,
                     on_drop=self._note_gateway_drop))
@@ -519,7 +563,7 @@ class ClusterFederation:
             if src_lp not in self.engines and dst_lp not in self.engines:
                 continue
             channel = PartitionChannel(f"gw{gid}", src_lp, dst_lp,
-                                       lookahead_ms=forward_delay_ms)
+                                       lookahead_ms=delay)
             forwarder = tap = None
             if dst_lp in self.engines:
                 forwarder = GatewayForwarder(
@@ -530,7 +574,7 @@ class ClusterFederation:
             if src_lp in self.engines:
                 tap = GatewayTap(
                     self.engines[src_lp], self.systems[src].medium,
-                    far_nodes, channel, forward_delay_ms, gid,
+                    far_nodes, channel, delay, gid,
                     obs=self.systems[src].obs)
             self.gateways.append(Gateway.from_parts(gid, tap, forwarder))
             self.channels.append(channel)
@@ -538,7 +582,8 @@ class ClusterFederation:
         self.scheduler: Optional[PartitionedEngine] = None
         if self.partitions is not None and only_partition is None:
             self.scheduler = PartitionedEngine(
-                [self.engines[lp] for lp in range(lps)], self.channels)
+                dict(self.engines), self.channels,
+                lockstep=lockstep, batch_ms=batch_ms)
 
     # ------------------------------------------------------------------
     def _note_gateway_drop(self, gateway_id: int, frame: Frame,
@@ -568,6 +613,20 @@ class ClusterFederation:
         if self.scheduler is not None:
             return self.scheduler.run(until=self.scheduler.now + duration_ms)
         return self.engine.run(until=self.engine.now + duration_ms)
+
+    def local_scheduler(self) -> PartitionedEngine:
+        """A scheduler over this slice's engines and fully-local channels.
+
+        Pool workers drive their slice with this: the parent's window
+        grants bound how far the whole group may run, while the local
+        scheduler handles the intra-worker micro-windows (cluster medium
+        <-> recorder LP bridges) without any pipe traffic. Channels with
+        a remote end are excluded — the pool master exchanges those.
+        """
+        local = dict(self.engines)
+        channels = [c for c in self.channels
+                    if c.src in local and c.dst in local]
+        return PartitionedEngine(local, channels, batch_ms=self.batch_ms)
 
     def cluster_of(self, node_id: int) -> System:
         for index, nodes in enumerate(self._node_sets):

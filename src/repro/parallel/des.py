@@ -2,28 +2,37 @@
 
 A federation's gateways are its only cross-cluster edges, and every
 gateway imposes a fixed, positive ``forward_delay_ms`` before a claimed
-frame re-enters the world on the far medium. That delay is exactly the
-*lookahead* a conservative parallel discrete-event simulation needs:
-if every logical process (LP) advances at most ``L = forward_delay_ms``
-beyond the last barrier, a frame claimed anywhere in the window fires
-strictly *after* the window's end — so exchanging claimed frames at
-window barriers can never deliver an event into an LP's past, and the
-partitioned run replays the serial event order byte-for-byte (see
-``docs/PARALLEL_DES.md``).
+frame re-enters the world on the far medium. That delay is the
+*lookahead* of its channel — and each channel carries its **own**
+lookahead, so a slow edge widens its destination's safe window instead
+of throttling everyone to the global minimum. On top of the static
+lookaheads, every logical process (LP) publishes a *next-event promise*
+(the earliest simulated time anything can happen there, relaxed over
+the channel graph — see
+:meth:`~repro.sim.engine.PartitionedEngine.earliest_bounds`), which is
+what lets idle stretches fast-forward in one barrier and lets
+zero-lookahead edges (a recorder bridged to its cluster medium) exist
+at all.
 
 Three execution modes over one scenario:
 
 * :func:`run_serial` — the reference: every cluster on one engine.
 * :func:`run_staged` — one engine per LP in a single process, driven by
   :class:`~repro.sim.engine.PartitionedEngine`. No parallelism, but it
-  exercises the exact window/barrier protocol; its digests must equal
+  exercises the exact promise/barrier protocol; its digests must equal
   the serial run's.
-* :func:`run_pooled` — one OS process per LP. Each worker
+* :func:`run_pooled` — one OS process per LP group. Each worker
   deterministically rebuilds its shard (``ClusterFederation(...,
   partitions=P, only_partition=k)`` — the same wiring code as staged
-  mode), and the parent drives lookahead windows over pipes, routing
-  the frames drained from each worker's outgoing channels into the
-  destination worker's next advance. Digests must again be identical.
+  mode) and drives it with the slice's own
+  :meth:`~repro.cluster.gateways.ClusterFederation.local_scheduler`;
+  the parent grants promise-derived advance targets over pipes and
+  routes the frames drained from cross-worker channels, batched per
+  barrier in the compact wire format (:mod:`repro.parallel.wire`).
+  Digests must again be identical. ``lockstep=True`` retains the
+  historical global-min-window protocol as the measured baseline the
+  promise protocol is benchmarked against (``des_scaling`` in
+  :mod:`repro.perf.workloads`).
 
 The per-cluster digest covers the full trace-event stream and metrics
 snapshot, so "byte-identical" means every layer of every cluster saw
@@ -33,7 +42,10 @@ the same events at the same simulated times in the same order.
 from __future__ import annotations
 
 import hashlib
+import json
+import math
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -45,15 +57,22 @@ from repro.chaos.workload import (
     expected_total,
     register_chaos_programs,
 )
-from repro.cluster.gateways import ClusterFederation
+from repro.cluster.gateways import ClusterFederation, directed_gateways
 from repro.errors import ReproError
 from repro.parallel.runner import _mp_context, canonical_json
+from repro.parallel.wire import decode_frame_batch, encode_frame_batch
+from repro.publishing.recorder_lp import recorder_side_prefixes
 from repro.system import System, SystemConfig
 
 #: Metrics that legitimately differ between one-engine and N-engine
 #: execution of the *same* events: each System's ``sim.events_fired``
 #: gauge reads its (possibly shared) engine's global event counter.
 DES_VOLATILE_METRICS = frozenset({"sim.events_fired"})
+
+#: How long the pool master waits for a worker reply before declaring
+#: the child dead (wall-clock seconds; generous — a reply normally
+#: arrives in milliseconds).
+POOL_REPLY_TIMEOUT_S = 120.0
 
 
 @dataclass(frozen=True)
@@ -66,6 +85,19 @@ class DesScenario:
     gateways. Driver start times are staggered per cluster
     (``stagger_ms``) so distinct channels never collide on exact event
     timestamps.
+
+    The partitioning knobs (all preserved digest-identically):
+
+    * ``forward_delays`` — per-directed-edge gateway delays as
+      ``(((src, dst), delay_ms), ...)``; unlisted edges fall back to
+      ``forward_delay_ms``. Each delay is that channel's lookahead.
+    * ``recorder_lps`` — each cluster's recorder on its own engine,
+      bridged by zero-lookahead channels (staged/pooled modes only;
+      the serial reference keeps one engine regardless).
+    * ``batch_ms`` — cap how far one barrier may advance any LP; the
+      default (None) lets quiet stretches fast-forward in one grant.
+    * ``lockstep`` — the historical global-min-window protocol, kept
+      as the measured baseline; incompatible with ``recorder_lps``.
     """
 
     clusters: int = 4
@@ -77,12 +109,30 @@ class DesScenario:
     topology: str = "ring"
     forward_delay_ms: float = 5.0
     master_seed: int = 1983
+    forward_delays: Optional[Tuple[Tuple[Tuple[int, int], float], ...]] = None
+    recorder_lps: bool = False
+    lockstep: bool = False
+    batch_ms: Optional[float] = None
 
     def validate(self) -> None:
         if self.clusters < 2:
             raise ReproError("a DES scenario needs at least 2 clusters")
         if self.forward_delay_ms <= 0:
             raise ReproError("forward_delay_ms must be positive (lookahead)")
+        for edge, delay in (self.forward_delays or ()):
+            if delay <= 0:
+                raise ReproError(
+                    f"forward delay for edge {edge} must be positive, "
+                    f"got {delay}")
+        if self.lockstep and self.recorder_lps:
+            raise ReproError(
+                "lockstep windows need every lookahead positive; "
+                "recorder bridges are zero-lookahead channels")
+        if self.batch_ms is not None and self.batch_ms <= 0:
+            raise ReproError("batch_ms must be positive when set")
+
+    def forward_delay_map(self) -> Dict[Tuple[int, int], float]:
+        return dict(self.forward_delays or ())
 
 
 # ----------------------------------------------------------------------
@@ -90,10 +140,33 @@ class DesScenario:
 # ----------------------------------------------------------------------
 def cluster_digest(system: System) -> str:
     """SHA-256 over one cluster's full event stream + metrics snapshot
-    (minus :data:`DES_VOLATILE_METRICS`)."""
+    (minus :data:`DES_VOLATILE_METRICS`).
+
+    The event stream is hashed as two sub-streams — medium-side scopes
+    and recorder-side scopes (:func:`recorder_side_prefixes`) — because
+    the shared bus appends in execution order: when the recorder runs
+    as its own LP its appends interleave with the medium's by barrier
+    window rather than strictly by time, while each side's own order
+    (and every timestamp, and the metrics) is identical to the serial
+    run. Hashing per side makes the digest a pure function of what each
+    component observed, in every execution mode.
+    """
     snapshot = {key: value for key, value in system.metrics_snapshot().items()
                 if key not in DES_VOLATILE_METRICS}
-    blob = system.obs.bus.to_jsonl() + "\n" + canonical_json(snapshot)
+    prefixes = recorder_side_prefixes(system.config.recorder_node_id)
+
+    def recorder_side(scope: str) -> bool:
+        return any(scope == p or scope.startswith(p + ".")
+                   for p in prefixes)
+
+    medium_lines: List[str] = []
+    recorder_lines: List[str] = []
+    for event in system.obs.bus.events:
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        (recorder_lines if recorder_side(event.scope)
+         else medium_lines).append(line)
+    blob = ("\n".join(medium_lines) + "\n=recorder=\n"
+            + "\n".join(recorder_lines) + "\n" + canonical_json(snapshot))
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -120,7 +193,11 @@ def build_federation(scenario: DesScenario,
         topology=scenario.topology,
         configs=configs,
         partitions=partitions,
-        only_partition=only_partition)
+        only_partition=only_partition,
+        forward_delays=scenario.forward_delay_map() or None,
+        recorder_lps=scenario.recorder_lps and partitions is not None,
+        lockstep=scenario.lockstep,
+        batch_ms=scenario.batch_ms)
     for system in fed.clusters:
         register_chaos_programs(system)
     return fed
@@ -256,74 +333,264 @@ def run_serial(scenario: DesScenario) -> Dict[str, Any]:
 
 
 def run_staged(scenario: DesScenario, partitions: int) -> Dict[str, Any]:
-    """One engine per LP, windowed barrier sync, single process."""
+    """One engine per LP, promise-based barrier sync, single process."""
     return _run_inprocess(scenario, partitions=partitions)
 
 
 # ----------------------------------------------------------------------
 # process-pool mode
 # ----------------------------------------------------------------------
+def _worker_bounds(fed: ClusterFederation) -> Dict[int, Optional[float]]:
+    """Each local LP's next pending event time (None = idle) — the raw
+    material of the parent's global next-event promises."""
+    return {lp: engine.peek_time() for lp, engine in fed.engines.items()}
+
+
 def _pool_worker(conn, scenario: DesScenario, partitions: int,
                  shard: int) -> None:
-    """One LP in its own process: rebuild the shard, then follow the
-    parent's window protocol over the pipe."""
-    fed = build_federation(scenario, partitions=partitions,
-                           only_partition=shard)
-    in_channels = {channel.key: channel for channel in fed.channels
-                   if channel.dst in fed.engines}
-    out_channels = [channel for channel in fed.channels
-                    if channel.src in fed.engines]
+    """One LP group in its own process: rebuild the shard, then follow
+    the parent's grant protocol over the pipe.
+
+    Every reply carries fresh per-LP next-event bounds, so the parent's
+    promises can never go stale across boot/checkpoint/spawn commands.
+    An uncaught exception is reported as ``("error", traceback)`` so
+    the parent can surface the child's stack instead of hanging.
+    """
     try:
+        fed = build_federation(scenario, partitions=partitions,
+                               only_partition=shard)
+        scheduler = fed.local_scheduler()
+        in_channels = {channel.key: channel for channel in fed.channels
+                       if channel.dst in fed.engines
+                       and channel.src not in fed.engines}
+        out_channels = [channel for channel in fed.channels
+                        if channel.src in fed.engines
+                        and channel.dst not in fed.engines]
         while True:
             command = conn.recv()
             kind = command[0]
             if kind == "boot":
                 for system in fed.clusters:
                     system.boot(settle_ms=0.0)
-                conn.send(("ok",))
+                conn.send(("ok", _worker_bounds(fed)))
             elif kind == "advance":
-                _, target, inbound = command
-                # inbound arrives pre-sorted by (fire_time, key, seq) —
-                # the same order PartitionedEngine._exchange injects in
-                for fire_time, key, _seq, frame in inbound:
-                    channel = in_channels[key]
-                    fed.engines[channel.dst].schedule_abs(
-                        fire_time, channel.deliver, frame)
-                for lp in sorted(fed.engines):
-                    fed.engines[lp].run(until=target)
+                _, target, blob = command
+                if blob:
+                    # inbound arrives pre-sorted by (fire_time, key,
+                    # seq) — the same order PartitionedEngine._exchange
+                    # injects in
+                    for fire_time, key, _seq, frame, _dst in \
+                            decode_frame_batch(blob):
+                        channel = in_channels[key]
+                        fed.engines[channel.dst].schedule_abs(
+                            fire_time, channel.deliver, frame)
+                scheduler.run(until=target)
                 outbound = []
                 for channel in out_channels:
                     for fire_time, seq, frame in channel.drain():
                         outbound.append(
-                            (fire_time, channel.key, seq, frame, channel.dst))
-                conn.send(("out", outbound))
+                            (fire_time, channel.key, seq, frame,
+                             channel.dst))
+                conn.send(("out",
+                           encode_frame_batch(outbound) if outbound else b"",
+                           _worker_bounds(fed)))
             elif kind == "checkpoint":
                 for system in fed.clusters:
                     if system.config.publishing:
                         system.checkpoint_all()
-                conn.send(("ok",))
+                conn.send(("ok", _worker_bounds(fed)))
             elif kind == "spawn":
                 spawn_workload(fed, scenario)
-                conn.send(("ok",))
+                conn.send(("ok", _worker_bounds(fed)))
             elif kind == "collect":
                 conn.send(("result", collect_local(fed, scenario)))
             elif kind == "exit":
                 return
             else:   # pragma: no cover - protocol error
                 raise ReproError(f"unknown pool command {kind!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:   # pragma: no cover - parent already gone
+            pass
+        raise
     finally:
         conn.close()
 
 
-def run_pooled(scenario: DesScenario, workers: int) -> Dict[str, Any]:
-    """One OS process per LP, the parent driving lookahead windows.
+class _PoolMaster:
+    """The parent half of the pooled promise protocol.
 
-    Each round the parent tells every worker to advance to the next
-    window barrier (handing it the frames routed to it at the previous
-    barrier), then gathers what each worker's taps claimed. Frames are
-    routed by channel destination and globally sorted by
-    ``(fire_time, channel key, channel seq)`` — a pure function of the
-    message set, so injection order never depends on worker timing.
+    Knows the complete abstract channel graph — cross-worker gateway
+    edges (where frames are exchanged) plus worker-internal relaxation
+    edges (the zero-lookahead recorder bridges) — derived from the
+    scenario alone, without building a single cluster. Each round it
+    relaxes the workers' reported next-event bounds over that graph
+    (mirroring :meth:`PartitionedEngine.earliest_bounds`), grants every
+    worker the largest provably-safe advance target, and routes drained
+    frames. Interpacket spacing floors are local knowledge the workers
+    apply themselves; ignoring them here only *lowers* bounds, which is
+    always conservative-safe.
+    """
+
+    def __init__(self, scenario: DesScenario, partitions: int):
+        self.scenario = scenario
+        self.partitions = partitions
+        count = scenario.clusters
+        delays = scenario.forward_delay_map()
+
+        def lp_of(index: int) -> int:
+            return index * partitions // count
+
+        #: every relaxation edge as (src_lp, dst_lp, lookahead_ms)
+        self.edges: List[Tuple[int, int, float]] = []
+        cross: List[Tuple[int, int, float]] = []
+        lps = set(range(partitions))
+        for _gid, src, dst in directed_gateways(count, scenario.topology):
+            src_lp, dst_lp = lp_of(src), lp_of(dst)
+            if src_lp == dst_lp:
+                continue
+            delay = delays.get((src, dst), scenario.forward_delay_ms)
+            cross.append((src_lp, dst_lp, delay))
+            self.edges.append((src_lp, dst_lp, delay))
+        if scenario.recorder_lps:
+            for index in range(count):
+                medium, recorder = lp_of(index), partitions + index
+                lps.add(recorder)
+                self.edges.append((medium, recorder, 0.0))
+                self.edges.append((recorder, medium, 0.0))
+        #: LP -> owning worker (recorder LPs live with their medium)
+        self.worker_of: Dict[int, int] = {
+            lp: (lp if lp < partitions else lp_of(lp - partitions))
+            for lp in lps}
+        #: per-worker incoming cross edges: worker -> [(src_lp, L)]
+        self.incoming: Dict[int, List[Tuple[int, float]]] = {
+            w: [] for w in range(partitions)}
+        for src_lp, dst_lp, delay in cross:
+            self.incoming[dst_lp].append((src_lp, delay))
+        self.window_ms = min((e[2] for e in cross), default=None)
+        #: latest reported next-event bound per LP (inf = idle)
+        self.bounds: Dict[int, float] = {lp: 0.0 for lp in lps}
+        #: last granted target per worker
+        self.granted: Dict[int, float] = {w: 0.0 for w in range(partitions)}
+        #: frames routed to a worker but not yet shipped
+        self.pending: Dict[int, List[Tuple]] = {
+            w: [] for w in range(partitions)}
+
+    def note_bounds(self, reply_bounds: Dict[int, Optional[float]]) -> None:
+        for lp, bound in reply_bounds.items():
+            self.bounds[lp] = math.inf if bound is None else bound
+
+    def relaxed_bounds(self) -> Dict[int, float]:
+        """Bellman-Ford fixed point of ``bound[dst] <= bound[src] + L``
+        over reported bounds and not-yet-shipped frame fire times."""
+        node = dict(self.bounds)
+        for items in self.pending.values():
+            for fire_time, _key, _seq, _frame, dst_lp in items:
+                if fire_time < node[dst_lp]:
+                    node[dst_lp] = fire_time
+        for _ in range(len(node)):
+            changed = False
+            for src_lp, dst_lp, delay in self.edges:
+                bound = node[src_lp] + delay
+                if bound < node[dst_lp]:
+                    node[dst_lp] = bound
+                    changed = True
+            if not changed:
+                break
+        return node
+
+    def targets(self, until: float) -> Dict[int, float]:
+        """The largest provably-safe advance target per worker
+        (nondecreasing; the worker owning the globally-earliest bound
+        always makes strict progress because every cross lookahead is
+        strictly positive)."""
+        if self.scenario.lockstep:
+            now = min(self.granted.values())
+            step = (until if self.window_ms is None
+                    else min(until, now + self.window_ms))
+            return {w: max(step, self.granted[w]) for w in self.granted}
+        node = self.relaxed_bounds()
+        out: Dict[int, float] = {}
+        batch_ms = self.scenario.batch_ms
+        for worker, edges in self.incoming.items():
+            target = until
+            for src_lp, delay in edges:
+                bound = node[src_lp] + delay
+                if bound < target:
+                    target = bound
+            if batch_ms is not None:
+                cap = self.granted[worker] + batch_ms
+                if cap < target:
+                    target = cap
+            out[worker] = max(target, self.granted[worker])
+        return out
+
+    def route(self, drained: List[Tuple]) -> int:
+        """Sort one barrier's drained frames globally and queue them
+        for their destination workers; a pure function of the message
+        set, so injection order never depends on worker timing."""
+        drained.sort(key=lambda item: (item[0], item[1], item[2]))
+        for item in drained:
+            self.pending[self.worker_of[item[4]]].append(item)
+        return len(drained)
+
+    def done(self, until: float) -> bool:
+        return (all(target >= until for target in self.granted.values())
+                and not any(self.pending.values())
+                and all(bound > until for bound in self.bounds.values()))
+
+
+def _pool_recv(pipe, process, shard: int,
+               timeout_s: float = POOL_REPLY_TIMEOUT_S):
+    """Receive one worker reply, surfacing child death instead of
+    blocking forever: polls with a deadline and raises
+    :class:`ReproError` carrying the child's traceback (if it managed
+    to send one) or its exit code."""
+    deadline = time.monotonic() + timeout_s
+
+    def take():
+        reply = pipe.recv()
+        if reply[0] == "error":
+            raise ReproError(
+                f"DES pool worker {shard} failed:\n{reply[1]}")
+        return reply
+
+    while True:
+        try:
+            if pipe.poll(0.05):
+                return take()
+        except (EOFError, OSError):
+            raise ReproError(
+                f"DES pool worker {shard} closed its pipe unexpectedly "
+                f"(exit code {process.exitcode})")
+        if not process.is_alive():
+            # Drain a final message the child flushed before dying.
+            try:
+                if pipe.poll(0):
+                    return take()
+            except (EOFError, OSError):
+                pass
+            raise ReproError(
+                f"DES pool worker {shard} died without replying "
+                f"(exit code {process.exitcode})")
+        if time.monotonic() > deadline:
+            raise ReproError(
+                f"DES pool worker {shard} did not reply within "
+                f"{timeout_s:.0f}s")
+
+
+def run_pooled(scenario: DesScenario, workers: int) -> Dict[str, Any]:
+    """One OS process per LP group, the parent granting safe targets.
+
+    Each round the parent relaxes the workers' reported next-event
+    bounds over the channel graph, grants every worker the largest
+    provably-safe target (so quiet stretches fast-forward in a handful
+    of barriers instead of one per lookahead window), ships each worker
+    its routed frames as one compact wire-format batch, and gathers
+    what the workers' taps claimed. With ``scenario.lockstep`` the
+    parent instead steps fixed global-minimum windows — the historical
+    protocol, kept as the measured baseline.
     """
     scenario.validate()
     if workers < 1:
@@ -331,8 +598,11 @@ def run_pooled(scenario: DesScenario, workers: int) -> Dict[str, Any]:
     partitions = min(workers, scenario.clusters)
     started = time.perf_counter()
     ctx = _mp_context()
+    master = _PoolMaster(scenario, partitions)
     pipes = []
     processes = []
+    barriers = 0
+    messages_exchanged = 0
     try:
         for shard in range(partitions):
             parent_conn, child_conn = ctx.Pipe()
@@ -347,34 +617,41 @@ def run_pooled(scenario: DesScenario, workers: int) -> Dict[str, Any]:
         def broadcast(command):
             for pipe in pipes:
                 pipe.send(command)
-            return [pipe.recv() for pipe in pipes]
-
-        now = 0.0
-        barriers = 0
-        messages_exchanged = 0
-        window = scenario.forward_delay_ms
-        pending: Dict[int, List[Tuple]] = {s: [] for s in range(partitions)}
+            replies = [_pool_recv(pipe, process, shard)
+                       for shard, (pipe, process)
+                       in enumerate(zip(pipes, processes))]
+            for reply in replies:
+                if reply[0] == "ok":
+                    master.note_bounds(reply[1])
+            return replies
 
         def advance(duration: float) -> None:
-            nonlocal now, barriers, messages_exchanged
-            until = now + duration
-            while now < until:
-                target = min(until, now + window)
+            nonlocal barriers, messages_exchanged
+            until = min(master.granted.values()) + duration
+            while True:
+                targets = master.targets(until)
                 for shard, pipe in enumerate(pipes):
-                    pipe.send(("advance", target, pending[shard]))
-                    pending[shard] = []
-                drained = []
-                for pipe in pipes:
-                    tag, outbound = pipe.recv()
+                    batch = master.pending[shard]
+                    master.pending[shard] = []
+                    pipe.send(("advance", targets[shard],
+                               encode_frame_batch(batch) if batch else b""))
+                master.granted = targets
+                drained: List[Tuple] = []
+                for shard, (pipe, process) in enumerate(
+                        zip(pipes, processes)):
+                    tag, blob, bounds = _pool_recv(pipe, process, shard)
                     if tag != "out":   # pragma: no cover - protocol error
                         raise ReproError(f"unexpected worker reply {tag!r}")
-                    drained.extend(outbound)
-                drained.sort(key=lambda m: (m[0], m[1], m[2]))
-                for fire_time, key, seq, frame, dst in drained:
-                    pending[dst].append((fire_time, key, seq, frame))
-                messages_exchanged += len(drained)
+                    if blob:
+                        drained.extend(decode_frame_batch(blob))
+                    master.note_bounds(bounds)
                 barriers += 1
-                now = target
+                moved = master.route(drained)
+                messages_exchanged += moved
+                if moved:
+                    continue
+                if master.done(until):
+                    break
 
         broadcast(("boot",))
         advance(scenario.settle_ms)
@@ -440,6 +717,11 @@ def equivalence_report(scenario: DesScenario,
             "duration_ms": scenario.duration_ms,
             "topology": scenario.topology,
             "forward_delay_ms": scenario.forward_delay_ms,
+            "forward_delays": [[list(edge), delay] for edge, delay
+                               in (scenario.forward_delays or ())],
+            "recorder_lps": scenario.recorder_lps,
+            "lockstep": scenario.lockstep,
+            "batch_ms": scenario.batch_ms,
             "master_seed": scenario.master_seed,
         },
         "reference_digest": reference,

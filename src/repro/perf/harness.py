@@ -23,9 +23,83 @@ SCHEMA_VERSION = 1
 #: default allowed fractional throughput drop before --compare fails
 DEFAULT_TOLERANCE = 0.25
 
+#: default CLI repetitions per workload: the committed baseline and the
+#: CI comparison run both keep the fastest repetition, so both sit near
+#: the machine's noise floor instead of wherever the scheduler happened
+#: to land one sample — a single lucky-fast committed figure would make
+#: every later single-sample comparison a coin flip
+DEFAULT_BEST_OF = 3
 
-def run_workload(name: str, seed: int, smoke: bool) -> Dict[str, Any]:
-    """Run one workload and normalise its result into report shape."""
+#: deterministic facts that must be bit-identical across repetitions
+_SEED_PURE_KEYS = ("ops", "events", "sim_ms", "event_digest",
+                   "replay_digest", "des_digest")
+
+#: iterations of the calibration loop (see _calibrate)
+_CALIBRATION_ITERS = 200_000
+
+
+def _calibrate(best_of: int = 5) -> float:
+    """Iterations/sec of a fixed pure-python loop: the runner's
+    demonstrated speed at this moment. Recorded before and after the
+    suite, it lets ``compare_reports`` normalise throughput figures
+    between a baseline machine and a (possibly throttled) current one —
+    CPU throttling slows this loop and the workloads alike."""
+    best = float("inf")
+    for _ in range(max(1, best_of)):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(_CALIBRATION_ITERS):
+            acc += i ^ (acc >> 3)
+        best = min(best, time.perf_counter() - start)
+    return _CALIBRATION_ITERS / best
+
+
+def _speed_ratio(current: Dict[str, Any], baseline: Dict[str, Any]) -> float:
+    """How much slower the current run's machine demonstrably is than
+    the baseline's, as a multiplier ≤ 1 for the comparison floor.
+
+    Conservative on both sides: the current run is judged by its
+    *slowest* calibration sample (throttling may have started
+    mid-suite) against the baseline's *fastest*. Never above 1 — a
+    faster machine does not tighten the gate. Reports without
+    calibration metadata (older baselines) compare unscaled."""
+    cur = current.get("meta", {}).get("calibration")
+    base = baseline.get("meta", {}).get("calibration")
+    if not cur or not base:
+        return 1.0
+    cur_speed = min(cur.values())
+    base_speed = max(base.values())
+    if base_speed <= 0 or cur_speed <= 0:
+        return 1.0
+    return min(1.0, cur_speed / base_speed)
+
+
+def _keep_fastest(name: str, best: Optional[Dict[str, Any]],
+                  result: Dict[str, Any]) -> Dict[str, Any]:
+    """Of two repetitions, keep the faster — after checking the
+    seed-pure facts are bit-identical between them."""
+    if best is None:
+        return result
+    for key in _SEED_PURE_KEYS:
+        if best.get(key) != result.get(key):
+            raise RuntimeError(
+                f"{name}: seed-pure fact {key!r} varied across "
+                f"repetitions ({best.get(key)} != {result.get(key)})")
+    return result if result["wall_ms"] < best["wall_ms"] else best
+
+
+def run_workload(name: str, seed: int, smoke: bool,
+                 best_of: int = 1) -> Dict[str, Any]:
+    """Run one workload (``best_of`` times, keeping the fastest
+    repetition) and normalise its result into report shape."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, best_of)):
+        best = _keep_fastest(name, best, _run_workload_once(name, seed, smoke))
+    assert best is not None
+    return best
+
+
+def _run_workload_once(name: str, seed: int, smoke: bool) -> Dict[str, Any]:
     fn = WORKLOADS[name]
     start = time.perf_counter()
     raw = fn(seed, smoke)
@@ -72,14 +146,21 @@ def run_workload(name: str, seed: int, smoke: bool) -> Dict[str, Any]:
 
 def run_suite(seed: int = 1983, smoke: bool = False,
               only: Optional[Iterable[str]] = None,
-              parallel: Optional[int] = None) -> Dict[str, Any]:
+              parallel: Optional[int] = None,
+              best_of: int = 1) -> Dict[str, Any]:
     """Run the selected workloads and assemble the full report.
 
     ``parallel=N`` (N > 1) shards the workloads over N worker processes
     via :mod:`repro.parallel`. Deterministic facts are unaffected (each
     workload still runs whole in one process); wall-clock figures are
     measured under contention, so use parallel runs for quick checks
-    and serial runs for committed baselines.
+    and serial runs for committed baselines. ``best_of`` (serial path
+    only) runs the whole suite that many *interleaved* passes and keeps
+    each workload's fastest pass: repetitions of one workload land
+    seconds apart, so a transient load burst on a shared runner must
+    recur over the same workload in every pass to bias its figure —
+    back-to-back repetition would let a single sub-second burst eat
+    all of them.
     """
     names = list(only) if only else list(WORKLOADS)
     unknown = [n for n in names if n not in WORKLOADS]
@@ -93,6 +174,7 @@ def run_suite(seed: int = 1983, smoke: bool = False,
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
     }
+    calibration_before = _calibrate()
     if parallel is not None and parallel > 1:
         from repro.parallel import perf_tasks, run_tasks
         shards = run_tasks(perf_tasks(names, seed=seed, smoke=smoke),
@@ -101,7 +183,15 @@ def run_suite(seed: int = 1983, smoke: bool = False,
                      for shard in shards]
         meta["workers"] = parallel
     else:
-        workloads = [run_workload(name, seed, smoke) for name in names]
+        by_name: Dict[str, Dict[str, Any]] = {}
+        for _ in range(max(1, best_of)):
+            for name in names:
+                by_name[name] = _keep_fastest(
+                    name, by_name.get(name),
+                    _run_workload_once(name, seed, smoke))
+        workloads = [by_name[name] for name in names]
+    meta["calibration"] = {"before": round(calibration_before, 1),
+                           "after": round(_calibrate(), 1)}
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "publishing",
@@ -117,22 +207,36 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
     A workload regresses when its ``ops_per_sec`` fell more than
     ``tolerance`` (fractional) below the baseline report's figure.
     Workloads present only on one side are skipped — adding a workload
-    must not fail CI until its baseline is committed.
+    must not fail CI until its baseline is committed. A workload may
+    opt out of the throughput check by reporting
+    ``"throughput_gated": false`` (its digests are still pinned
+    exactly): right for grids of many short subprocess runs whose wall
+    clock is spawn-latency noise rather than a hot-path signal, and
+    which enforce their own internal performance gate instead.
+
+    When both reports carry calibration metadata, the floor is further
+    scaled by the demonstrated machine-speed ratio (:func:`_speed_ratio`)
+    so a throttled CI runner is compared against what *it* can do, not
+    against the baseline machine's clock.
     """
     failures: List[str] = []
+    ratio = _speed_ratio(current, baseline)
     base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
     for work in current.get("workloads", []):
         base = base_by_name.get(work["name"])
         if base is None:
             continue
         base_rate = base.get("ops_per_sec", 0.0)
-        if base_rate > 0:
-            floor = base_rate * (1.0 - tolerance)
+        if base_rate > 0 and work.get("throughput_gated", True):
+            floor = base_rate * (1.0 - tolerance) * ratio
             rate = work.get("ops_per_sec", 0.0)
             if rate < floor:
+                scaled = ("" if ratio >= 1.0 else
+                          f", machine-speed scaled x{ratio:.2f}")
                 failures.append(
                     f"{work['name']}: {rate:.1f} ops/s is more than "
-                    f"{tolerance:.0%} below baseline {base_rate:.1f} ops/s")
+                    f"{tolerance:.0%} below baseline {base_rate:.1f} "
+                    f"ops/s{scaled}")
         # Deterministic digests must match exactly: a changed replay
         # order or event stream is a behavioural break, not noise.
         for key in ("replay_digest", "event_digest"):
@@ -172,7 +276,8 @@ def main(seed: int, smoke: bool, output: Optional[str],
          only: Optional[List[str]] = None,
          compare: Optional[str] = None,
          tolerance: float = DEFAULT_TOLERANCE,
-         parallel: Optional[int] = None) -> int:
+         parallel: Optional[int] = None,
+         best_of: int = DEFAULT_BEST_OF) -> int:
     """CLI entry point shared by ``python -m repro perf``. Returns an
     exit code: 0 on success, 1 on regression vs the compare baseline,
     2 for an unknown ``--workload`` name."""
@@ -183,7 +288,8 @@ def main(seed: int, smoke: bool, output: Optional[str],
                   file=sys.stderr)
             print(f"available: {', '.join(WORKLOADS)}", file=sys.stderr)
             return 2
-    report = run_suite(seed=seed, smoke=smoke, only=only, parallel=parallel)
+    report = run_suite(seed=seed, smoke=smoke, only=only, parallel=parallel,
+                       best_of=best_of)
     print(format_report(report))
     if output:
         write_report(report, output)

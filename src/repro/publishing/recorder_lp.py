@@ -1,0 +1,194 @@
+"""Recorder-on-its-own-LP bridging (partitioning *within* a cluster).
+
+The recorder is the hottest component of a publishing cluster — store
+compaction, replay, quorum work all run on its engine — yet it only
+talks to the rest of the cluster through the medium. That makes the
+medium<->recorder boundary a natural partition cut: the recorder runs
+on its own :class:`~repro.sim.engine.EngineCore` and every *call*
+across the cut is deferred through a
+:class:`~repro.sim.engine.PartitionChannel` at its exact claim time.
+
+Two channels, both with **zero lookahead** (a media tap fires at the
+exact frame-completion time; a recorder transmit reaches the bus at the
+exact send time):
+
+* ``m2r`` — medium -> recorder: the recorder interface callbacks the
+  medium invokes (``on_frame`` for passive listening, ``on_delivery``
+  for §4.4.1 ack tracing, ``on_delivered`` for the hardware ack of the
+  recorder's own transmissions). On a serialized broadcast bus every
+  such call happens at a frame-completion time, and consecutive
+  completions are at least the interpacket gap apart — so the channel
+  carries ``spacing_ms = interpacket_delay_ms``, which is the usable
+  lookahead of this edge (ROADMAP item 3: "the medium's interpacket gap
+  is the lookahead").
+* ``r2m`` — recorder -> medium: ``medium.transmit`` for everything the
+  recorder sends (watchdog pings, recovery controls, replay segments),
+  plus deferred recovery-manager actions that must run on the cluster
+  engine (node restarts).
+
+With zero static lookahead, safety comes from the scheduler's
+next-event promises (:meth:`PartitionedEngine.earliest_bounds`): each
+side only advances past the other's earliest possible next action.
+
+Frames crossing the cut are **shallow-copied at claim time**: the frame
+shell (``recorder_acked``, gateway-rewritten ``src_node``) is mutable
+and the far side processes the call later in wall-clock order, so the
+copy pins the exact state the serial engine's synchronous call would
+have seen. Payload segments are immutable and stay shared.
+
+Not supported in this mode (the serial engine remains the reference
+for these): recorder crash/restart mid-run, gossip repair, and
+non-broadcast media. :class:`repro.system.System` enforces this.
+"""
+
+from __future__ import annotations
+
+from copy import copy
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.frames import Frame
+from repro.net.media import Medium, NetworkInterface
+from repro.sim.engine import EngineCore, PartitionChannel
+
+#: Placeholder LP ids the bridge channels are born with; the serial
+#: pair (medium LP, recorder LP). A federation renumbers them into its
+#: own LP space (see ClusterFederation).
+MEDIUM_LP = 0
+RECORDER_LP = 1
+
+#: Observability scope prefixes that live on the recorder side of the
+#: cut: they stamp events with the recorder engine's clock, their
+#: time-weighted instruments integrate over it, and the DES digest
+#: hashes their event sub-stream separately (the two sides' appends
+#: interleave nondeterministically in the shared bus when each side
+#: runs its own window, but each side's *own* order is always the
+#: serial order).
+RECORDER_SIDE_SCOPES = ("recorder", "recovery", "quorum", "watchdog")
+
+
+def recorder_side_prefixes(recorder_node_id: int) -> Tuple[str, ...]:
+    """Every scope prefix owned by the recorder LP of a cluster."""
+    return RECORDER_SIDE_SCOPES + (f"transport.{recorder_node_id}",)
+
+
+class BridgedRecorderInterface(NetworkInterface):
+    """The medium-side stand-in for a recorder's network interface.
+
+    Attached to the real medium in the real interface's place; every
+    callback the medium invokes is stamped with the medium engine's
+    current time and queued on the ``m2r`` channel instead of running
+    inline. ``up`` delegates to the real interface so passive-listening
+    checks read the recorder's actual health.
+    """
+
+    def __init__(self, real: NetworkInterface, m2r: PartitionChannel,
+                 clock: Callable[[], float]):
+        self._real = real
+        self._m2r = m2r
+        self._clock = clock
+        super().__init__(real.node_id, self._defer_on_frame,
+                         is_recorder=True,
+                         on_delivered=self._defer_on_delivered,
+                         accept_extra=real.accept_extra)
+        self.on_delivery = self._defer_on_delivery
+
+    @property
+    def up(self) -> bool:
+        return self._real.up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        self._real.up = value
+
+    def _defer_on_frame(self, frame: Frame) -> None:
+        self._m2r.send(self._clock(), ("on_frame", copy(frame)))
+
+    def _defer_on_delivery(self, frame: Frame) -> None:
+        self._m2r.send(self._clock(), ("on_delivery", copy(frame)))
+
+    def _defer_on_delivered(self, frame: Frame, ok: bool) -> None:
+        self._m2r.send(self._clock(), ("on_delivered", copy(frame), ok))
+
+
+class RecorderMediumBridge:
+    """The recorder-side view of the cluster medium.
+
+    The recorder's transport is constructed against this object instead
+    of the medium: ``attach`` swaps in a
+    :class:`BridgedRecorderInterface` on the real medium and
+    ``transmit`` defers onto the ``r2m`` channel. Attribute reads
+    (``provides_delivery_ack``, ``obs``, ``interpacket_delay_ms``, ...)
+    fall through to the real medium — they are constants or
+    construction-time wiring, safe to read from either side.
+    """
+
+    def __init__(self, medium: Medium, recorder_engine: EngineCore,
+                 recorder_node_id: int):
+        self._medium = medium
+        self._recorder_engine = recorder_engine
+        # The spacing promise holds only when every recorder callback
+        # happens at a frame-completion time; a non-zero ack latency
+        # shifts delivery observations off that lattice.
+        spacing = (medium.interpacket_delay_ms
+                   if getattr(medium, "ack_latency_ms", None) == 0.0
+                   else 0.0)
+        self.m2r = PartitionChannel(
+            f"recbridge{recorder_node_id}.m2r", MEDIUM_LP, RECORDER_LP,
+            lookahead_ms=0.0, deliver=self._deliver_to_recorder,
+            spacing_ms=spacing)
+        self.r2m = PartitionChannel(
+            f"recbridge{recorder_node_id}.r2m", RECORDER_LP, MEDIUM_LP,
+            lookahead_ms=0.0, deliver=self._deliver_to_medium)
+        self.proxy: Optional[BridgedRecorderInterface] = None
+
+    @property
+    def channels(self) -> Tuple[PartitionChannel, PartitionChannel]:
+        return (self.m2r, self.r2m)
+
+    # -- what the recorder's transport calls ---------------------------
+    def attach(self, iface: NetworkInterface) -> NetworkInterface:
+        if self.proxy is not None:
+            raise ReproError(
+                "a recorder medium bridge carries exactly one interface")
+        self.proxy = BridgedRecorderInterface(
+            iface, self.m2r, lambda: self._medium.engine.now)
+        iface.medium = self
+        self._medium.attach(self.proxy)
+        return iface
+
+    def detach(self, iface: NetworkInterface) -> None:
+        raise ReproError(
+            "detaching a bridged recorder is not supported; recorder "
+            "crash/restart requires the serial engine")
+
+    def transmit(self, iface: NetworkInterface, frame: Frame) -> None:
+        self.r2m.send(self._recorder_engine.now, ("transmit", copy(frame)))
+
+    def defer_to_medium(self, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` on the cluster engine at the recorder's
+        current time (recovery actions like node restarts that schedule
+        medium-side work)."""
+        self.r2m.send(self._recorder_engine.now, ("call", fn, args))
+
+    # -- channel sinks --------------------------------------------------
+    def _deliver_to_recorder(self, item: Tuple) -> None:
+        tag = item[0]
+        real = self.proxy._real
+        if tag == "on_frame":
+            real.on_frame(item[1])
+        elif tag == "on_delivery":
+            if real.on_delivery is not None:
+                real.on_delivery(item[1])
+        else:
+            if real.on_delivered is not None:
+                real.on_delivered(item[1], item[2])
+
+    def _deliver_to_medium(self, item: Tuple) -> None:
+        if item[0] == "transmit":
+            self._medium.transmit(self.proxy, item[1])
+        else:
+            item[1](*item[2])
+
+    def __getattr__(self, name):
+        return getattr(self._medium, name)

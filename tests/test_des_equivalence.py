@@ -8,10 +8,14 @@ engine, on N staged engines in one process, or on a process pool.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.cluster.gateways import directed_gateways
+from repro.errors import ReproError
 from repro.parallel.des import (
     DES_VOLATILE_METRICS,
     DesScenario,
+    _pool_recv,
     build_federation,
     equivalence_report,
     run_pooled,
@@ -19,6 +23,7 @@ from repro.parallel.des import (
     run_staged,
     spawn_workload,
 )
+from repro.parallel.runner import _mp_context
 
 SMALL = DesScenario(clusters=4, messages=4, duration_ms=1500.0)
 
@@ -72,6 +77,143 @@ class TestPooledEquivalence:
         assert pooled["digest"] == serial["digest"]
 
 
+class TestHeterogeneousLookahead:
+    """Per-channel lookaheads: each gateway edge carries its own delay,
+    and the partitioned schedules must still replay the serial run
+    byte-for-byte — for any delay assignment, topology, partition
+    count, and with the recorder split onto its own LP or not."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_random_lookahead_vectors_staged_matches_serial(self, data):
+        topology = data.draw(st.sampled_from(["ring", "mesh"]),
+                             label="topology")
+        clusters = data.draw(st.integers(3, 5), label="clusters")
+        edges = [(src, dst) for _gid, src, dst
+                 in directed_gateways(clusters, topology)]
+        delays = tuple(
+            (edge, data.draw(st.floats(0.5, 12.0, allow_nan=False,
+                                       allow_infinity=False),
+                             label=f"delay{edge}"))
+            for edge in edges)
+        scenario = DesScenario(
+            clusters=clusters, messages=3, duration_ms=800.0,
+            topology=topology, forward_delays=delays,
+            recorder_lps=data.draw(st.booleans(), label="recorder_lps"))
+        partitions = data.draw(st.integers(2, clusters), label="partitions")
+        serial = run_serial(scenario)
+        staged = run_staged(scenario, partitions=partitions)
+        assert serial["workload_ok"]
+        assert staged["per_cluster"] == serial["per_cluster"]
+
+    def test_mixed_delays_pooled_matches_serial(self):
+        scenario = DesScenario(
+            clusters=4, messages=4, duration_ms=1500.0,
+            forward_delays=(((0, 1), 2.5), ((1, 2), 11.0), ((3, 0), 7.25)))
+        serial = run_serial(scenario)
+        pooled = run_pooled(scenario, workers=2)
+        assert serial["workload_ok"] and pooled["workload_ok"]
+        assert pooled["digest"] == serial["digest"]
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ReproError):
+            DesScenario(forward_delays=(((0, 1), 0.0),)).validate()
+
+
+class TestPromiseFastForward:
+    """Next-event promises must fast-forward idle stretches: barrier
+    count tracks the *traffic*, not the window grid. The workload dies
+    out well before ``duration_ms``; a lockstep scheduler still pays
+    one barrier per min-lookahead window across the whole run."""
+
+    def test_pooled_barriers_track_traffic_not_windows(self):
+        pooled = run_pooled(SMALL, workers=2)
+        windows = (SMALL.settle_ms + SMALL.duration_ms) / SMALL.forward_delay_ms
+        assert pooled["digest"] == run_serial(SMALL)["digest"]
+        assert pooled["barriers"] < windows / 4, (
+            f"{pooled['barriers']} barriers for {windows:.0f} lockstep "
+            f"windows — idle fast-forward is not engaging")
+
+    def test_lockstep_baseline_pays_per_window(self):
+        lockstep = run_pooled(
+            DesScenario(clusters=4, messages=4, duration_ms=1500.0,
+                        lockstep=True), workers=2)
+        promise = run_pooled(SMALL, workers=2)
+        assert lockstep["digest"] == promise["digest"]
+        assert promise["barriers"] * 4 < lockstep["barriers"]
+
+    def test_zero_traffic_completes_in_constant_barriers(self):
+        # No workload at all: after settling, no frame ever crosses a
+        # gateway (only each cluster's own housekeeping timers fire).
+        # The promise loop must cross the whole horizon in a small
+        # constant number of barriers — not one per lookahead window
+        # (300 for this scenario).
+        fed = build_federation(SMALL, partitions=4)
+        fed.boot(settle_ms=SMALL.settle_ms)
+        settle_barriers = fed.scheduler.barriers
+        fed.run(SMALL.duration_ms)
+        assert fed.scheduler.messages_exchanged == 0
+        assert fed.scheduler.barriers - settle_barriers <= 8, (
+            f"{fed.scheduler.barriers - settle_barriers} barriers to "
+            f"cross an idle horizon")
+
+    def test_batch_ms_bounds_a_single_grant(self):
+        batched = DesScenario(clusters=4, messages=4, duration_ms=1500.0,
+                              batch_ms=100.0)
+        staged = run_staged(batched, partitions=4)
+        assert staged["digest"] == run_serial(batched)["digest"]
+        # ~20 batch windows over the 2000ms horizon; far fewer than
+        # the 400 lockstep windows, far more than the unbatched ~60.
+        assert staged["barriers"] >= (SMALL.settle_ms
+                                      + SMALL.duration_ms) / 100.0
+
+
+def _silent_death_worker(conn):
+    conn.close()
+
+
+class TestPoolRobustness:
+    """A dead or crashing child must surface as :class:`ReproError`,
+    never as a parent blocked forever on ``pipe.recv()``."""
+
+    def test_dead_child_raises_instead_of_blocking(self):
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_silent_death_worker,
+                              args=(child_conn,))
+        process.start()
+        child_conn.close()
+        try:
+            with pytest.raises(ReproError, match="worker 3"):
+                _pool_recv(parent_conn, process, 3, timeout_s=30.0)
+        finally:
+            process.join(timeout=30)
+            parent_conn.close()
+
+    def test_child_traceback_is_surfaced(self):
+        from repro.parallel.des import _pool_worker
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_pool_worker,
+            args=(child_conn, SMALL, 2, 0), daemon=True)
+        process.start()
+        child_conn.close()
+        try:
+            # A corrupt wire blob makes the worker raise mid-command;
+            # the parent must get the child's actual traceback.
+            parent_conn.send(("advance", 10.0, b"not a frame batch"))
+            with pytest.raises(ReproError,
+                               match="(?s)worker 0 failed.*magic"):
+                _pool_recv(parent_conn, process, 0)
+        finally:
+            process.join(timeout=30)
+            if process.is_alive():
+                process.terminate()
+            parent_conn.close()
+
+
 class TestLargeFederation:
     """The acceptance-criteria configuration: 32 clusters."""
 
@@ -87,6 +229,21 @@ class TestLargeFederation:
             assert run["workload_ok"]
             assert run["replies"] == [6] * 32
             assert run["frames_dropped"] == 0
+
+    def test_32_clusters_all_knobs_enabled(self):
+        # Heterogeneous lookaheads + window batching + recorder LPs,
+        # all at once: serial == staged == pooled, byte-for-byte.
+        scenario = DesScenario(
+            clusters=32, messages=6, duration_ms=3000.0,
+            forward_delays=tuple(
+                ((i, (i + 1) % 32), 3.0 + (i % 5) * 2.0)
+                for i in range(0, 32, 3)),
+            recorder_lps=True, batch_ms=250.0)
+        report = equivalence_report(scenario, worker_counts=(4,))
+        assert report["equivalent"], report["mismatches"]
+        for run in report["runs"]:
+            assert run["workload_ok"]
+            assert run["replies"] == [6] * 32
 
 
 class TestDigestScope:

@@ -134,6 +134,80 @@ def test_compare_reports_flags_only_real_regressions(smoke_report):
     assert compare_reports(current, baseline) == []
 
 
+def test_best_of_keeps_fastest_repetition(monkeypatch):
+    walls = iter([30.0, 10.0, 20.0])
+
+    def fake(seed, smoke):
+        return {"ops": 10, "events": 10, "sim_ms": 1.0,
+                "wall_ms": next(walls), "event_digest": "abc"}
+
+    monkeypatch.setitem(WORKLOADS, "fake_fast", fake)
+    work = run_workload("fake_fast", seed=1, smoke=True, best_of=3)
+    assert work["wall_ms"] == 10.0
+    assert work["ops_per_sec"] == 1000.0
+
+
+def test_best_of_rejects_seed_impure_workloads(monkeypatch):
+    counter = iter(range(100))
+
+    def impure(seed, smoke):
+        return {"ops": next(counter), "events": 0, "sim_ms": 1.0,
+                "wall_ms": 1.0}
+
+    monkeypatch.setitem(WORKLOADS, "fake_impure", impure)
+    with pytest.raises(RuntimeError, match="seed-pure"):
+        run_workload("fake_impure", seed=1, smoke=True, best_of=2)
+
+
+def test_compare_reports_normalises_by_machine_speed(smoke_report):
+    """A throttled runner (calibration loop demonstrably slower) gets a
+    proportionally lower floor; digests are still gated exactly."""
+    baseline = copy.deepcopy(smoke_report)
+    current = copy.deepcopy(smoke_report)
+    baseline["meta"]["calibration"] = {"before": 4.0e6, "after": 4.0e6}
+    current["meta"]["calibration"] = {"before": 2.0e6, "after": 2.0e6}
+    # a 50% throughput drop, exactly matching the 2x slower machine:
+    # not a regression
+    for work in current["workloads"]:
+        work["ops_per_sec"] /= 2.0
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+    # a real drop beyond the machine-speed ratio: still flagged
+    current["workloads"][0]["ops_per_sec"] /= 3.0
+    failures = compare_reports(current, baseline, tolerance=0.25)
+    assert len(failures) == 1 and "machine-speed scaled" in failures[0]
+    # a *faster* machine never tightens the gate above the plain floor
+    current = copy.deepcopy(smoke_report)
+    current["meta"]["calibration"] = {"before": 9.0e6, "after": 9.0e6}
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+    # calibration is judged conservatively: current by its slowest
+    # sample, baseline by its fastest
+    current["meta"]["calibration"] = {"before": 4.0e6, "after": 1.0e6}
+    for work in current["workloads"]:
+        work["ops_per_sec"] /= 4.0
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+
+
+def test_suite_records_calibration(smoke_report):
+    calibration = smoke_report["meta"]["calibration"]
+    assert calibration["before"] > 0 and calibration["after"] > 0
+
+
+def test_compare_reports_honours_throughput_opt_out(smoke_report):
+    """``throughput_gated: false`` exempts a workload from the ops/sec
+    tolerance (its wall clock is declared noise) while its digests stay
+    pinned exactly."""
+    baseline = copy.deepcopy(smoke_report)
+    current = copy.deepcopy(smoke_report)
+    work = next(w for w in current["workloads"] if "event_digest" in w)
+    work["throughput_gated"] = False
+    work["ops_per_sec"] /= 10.0
+    assert compare_reports(current, baseline, tolerance=0.25) == []
+    # the digest pin survives the opt-out
+    work["event_digest"] = "0" * 64
+    failures = compare_reports(current, baseline, tolerance=0.25)
+    assert len(failures) == 1 and "event_digest" in failures[0]
+
+
 def test_format_report_lists_every_workload(smoke_report):
     text = format_report(smoke_report)
     for work in smoke_report["workloads"]:
