@@ -23,7 +23,11 @@ Commands:
 * ``sweep``       — shard an evaluation sweep (chaos seed matrix,
   capacity / utilization / figure57 grids, perf suite) over worker
   processes and merge the results deterministically
-  (``--check`` proves parallel == serial digest-for-digest).
+  (``--check`` proves parallel == serial digest-for-digest);
+* ``federation``  — run sharded-recorder federation cells across
+  cluster counts, digest-gating serial vs sweep-runner vs pooled
+  execution, and print the federation capacity model's knee against a
+  measured gateway (see ``docs/FEDERATION.md``).
 
 ``capacity``, ``utilization``, ``chaos`` (with ``--runs K``) and
 ``perf`` accept ``--parallel N`` to shard their work over N worker
@@ -545,6 +549,105 @@ def _cmd_des(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    """The federation acceptance rig: every cell runs serial, through
+    the sweep runner (a separate OS process), and pooled — all three
+    must agree digest-for-digest — then the capacity model's knee is
+    paired with a driven gateway's measured saturation rate."""
+    from repro.parallel import federation_tasks, run_tasks
+    from repro.parallel.des import DesScenario, run_pooled, run_serial
+    from repro.queueing import OPERATING_POINTS
+    from repro.queueing.federation import (
+        FederationCapacityModel,
+        FederationShape,
+        measure_gateway_knee,
+        modeled_gateway_knee_per_s,
+    )
+
+    counts = sorted(set(args.clusters or [4, 8]))
+    workers = args.workers or 2
+    cells = []
+    ok = True
+    for clusters in counts:
+        scenario = DesScenario(clusters=clusters,
+                               cluster_size=args.cluster_size,
+                               recorder_shards=args.shards,
+                               messages=args.messages,
+                               duration_ms=args.duration,
+                               topology=args.topology,
+                               master_seed=args.seed)
+        serial = run_serial(scenario)
+        shard = run_tasks(
+            federation_tasks(cluster_counts=(clusters,),
+                             cluster_size=args.cluster_size,
+                             recorder_shards=args.shards,
+                             topology=args.topology,
+                             messages=args.messages,
+                             duration_ms=args.duration,
+                             seed=args.seed),
+            max_workers=workers)[0]
+        pooled = run_pooled(scenario, workers=workers)
+        matches = (shard["payload"]["digest"] == serial["digest"]
+                   and pooled["digest"] == serial["digest"])
+        cell_ok = (matches and serial["workload_ok"]
+                   and pooled["workload_ok"])
+        ok = ok and cell_ok
+        cells.append({
+            "clusters": clusters,
+            "nodes": clusters * args.cluster_size,
+            "recorder_shards": args.shards,
+            "digest": serial["digest"],
+            "digests_match": matches,
+            "workload_ok": serial["workload_ok"] and pooled["workload_ok"],
+            "frames_forwarded": serial["frames_forwarded"],
+            "serial_wall_ms": round(serial["wall_ms"], 3),
+            "pooled_wall_ms": round(pooled["wall_ms"], 3),
+            "pooled_barriers": pooled["barriers"],
+        })
+    modeled_rate = modeled_gateway_knee_per_s(args.service_ms)
+    gateway = measure_gateway_knee(
+        args.service_ms,
+        rates_per_s=tuple(round(modeled_rate * f, 1)
+                          for f in (0.6, 0.8, 0.95, 1.05, 1.1, 1.25, 1.5)))
+    capacity = {}
+    for topology in ("ring", "mesh"):
+        shape = FederationShape(clusters=max(max(counts), 2),
+                                topology=topology,
+                                recorder_shards=args.shards,
+                                gateway_service_ms=args.service_ms)
+        model = FederationCapacityModel(OPERATING_POINTS["mean"], shape)
+        capacity[topology] = model.knee_report()
+    report = {
+        "cells": cells,
+        "capacity": capacity,
+        "gateway_knee": gateway,
+        "ok": ok,
+    }
+    if args.json or args.output:
+        _write_or_print(json.dumps(report, indent=2, sort_keys=True),
+                        args.output)
+    if not args.json or args.output:
+        print(f"federation scaling ({args.topology}, "
+              f"{args.shards} recorder shard(s)/cluster):")
+        for cell in cells:
+            print(f"  {cell['clusters']:>4} clusters "
+                  f"digest {cell['digest'][:16]} "
+                  f"serial {cell['serial_wall_ms']:7.1f}ms "
+                  f"pooled {cell['pooled_wall_ms']:7.1f}ms "
+                  f"{'MATCH' if cell['digests_match'] else 'DIVERGED'}")
+        for topology, knee in capacity.items():
+            print(f"  capacity[{topology}]: knee {knee['knee_users']} "
+                  f"users, bottleneck {knee['bottleneck']}")
+        err = gateway.get("relative_error")
+        print(f"  gateway knee: modeled {gateway['modeled_knee_per_s']:.0f}/s "
+              f"measured {gateway['measured_knee_per_s']}/s "
+              f"relative error {err if err is not None else 'n/a'}")
+        print(f"result: {'PASS' if ok else 'FAIL'}")
+    if args.check and not ok:
+        return 1
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import main as perf_main
 
@@ -796,6 +899,41 @@ def main(argv=None) -> int:
                      help="write the report JSON to this file")
     des.set_defaults(fn=_cmd_des)
 
+    federation = sub.add_parser(
+        "federation", help="sharded-recorder federation scaling cells "
+                           "with a three-way digest gate and the "
+                           "capacity-model knee (docs/FEDERATION.md)")
+    federation.add_argument("--clusters", type=int, action="append",
+                            default=None, metavar="N",
+                            help="cluster count to run (repeatable; "
+                                 "default 4 and 8)")
+    federation.add_argument("--cluster-size", type=int, default=2,
+                            help="nodes per cluster")
+    federation.add_argument("--shards", type=int, default=2,
+                            help="recorder shards per cluster")
+    federation.add_argument("--topology", default="ring",
+                            choices=["ring", "mesh"])
+    federation.add_argument("--messages", type=int, default=3,
+                            help="request/reply pairs per driver")
+    federation.add_argument("--duration", type=float, default=2000.0,
+                            help="simulated run length after settle (ms)")
+    federation.add_argument("--seed", type=int, default=1983)
+    federation.add_argument("--workers", type=int, default=None,
+                            metavar="N",
+                            help="worker processes for the sweep and "
+                                 "pooled comparisons (default 2)")
+    federation.add_argument("--service-ms", type=float, default=2.0,
+                            help="gateway uplink serialisation time for "
+                                 "the capacity section")
+    federation.add_argument("--check", action="store_true",
+                            help="exit 1 unless every cell's three "
+                                 "execution modes agree digest-for-digest")
+    federation.add_argument("--json", action="store_true",
+                            help="emit the report as JSON")
+    federation.add_argument("--output", default=None,
+                            help="write the report JSON to this file")
+    federation.set_defaults(fn=_cmd_federation)
+
     perf = sub.add_parser(
         "perf", help="run the benchmark workloads, write "
                      "BENCH_publishing.json")
@@ -803,10 +941,14 @@ def main(argv=None) -> int:
                       help="small workload sizes (seconds, for CI)")
     perf.add_argument("--seed", type=int, default=1983,
                       help="master seed for every workload")
+    from repro.perf.workloads import WORKLOADS
+    # choices= is deliberately not used: the harness validates names
+    # itself (exit 2 with the full list), which keeps the repeatable
+    # flag's error identical however the workload set grows.
     perf.add_argument("--workload", action="append", default=None,
                       metavar="NAME",
                       help="run only this workload (repeatable); "
-                           "default: all")
+                           "default: all of " + ", ".join(WORKLOADS))
     perf.add_argument("--output", default=None,
                       help="report path ('' to skip writing; default "
                            "BENCH_publishing.json for full-suite runs)")

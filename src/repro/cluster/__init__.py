@@ -9,15 +9,35 @@ from repro.cluster.gateways import (
     bridge,
     directed_gateways,
     federation_edges,
+    gateway_id_base,
+)
+from repro.cluster.placement import (
+    RECORDER_ID_OFFSET,
+    ClusterPlacement,
+    LoadBalancedShardPolicy,
+    RangeShardPolicy,
+    RecorderShard,
+    placement_digest,
+    placement_priority_vectors,
+    policy_from_name,
 )
 
 __all__ = [
     "GATEWAY_ID_BASE",
+    "RECORDER_ID_OFFSET",
     "ClusterFederation",
+    "ClusterPlacement",
     "Gateway",
     "GatewayForwarder",
     "GatewayTap",
+    "LoadBalancedShardPolicy",
+    "RangeShardPolicy",
+    "RecorderShard",
     "bridge",
     "directed_gateways",
     "federation_edges",
+    "gateway_id_base",
+    "placement_digest",
+    "placement_priority_vectors",
+    "policy_from_name",
 ]

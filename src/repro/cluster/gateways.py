@@ -94,16 +94,33 @@ def federation_edges(clusters: int, topology: str = "mesh") -> List[Tuple[int, i
         f"unknown federation topology {topology!r}; choose from {TOPOLOGIES}")
 
 
-def directed_gateways(clusters: int,
-                      topology: str = "mesh") -> List[Tuple[int, int, int]]:
+def gateway_id_base(clusters: int, nodes_stride: int = 100) -> int:
+    """The first gateway id for a federation of this size.
+
+    Small federations keep the historic :data:`GATEWAY_ID_BASE`;
+    planet-scale ones (whose node ranges would run past 9000 — e.g.
+    100 clusters at the default stride) bump the base to the next
+    multiple of it above the node-id ceiling, so gateway ids never
+    collide with node or recorder ids at any scale.
+    """
+    top = 1 + clusters * nodes_stride
+    if top < GATEWAY_ID_BASE:
+        return GATEWAY_ID_BASE
+    return ((top // GATEWAY_ID_BASE) + 1) * GATEWAY_ID_BASE
+
+
+def directed_gateways(clusters: int, topology: str = "mesh",
+                      nodes_stride: int = 100) -> List[Tuple[int, int, int]]:
     """Every directed gateway as ``(gateway_id, src_cluster, dst_cluster)``.
 
-    Ids are a pure function of the topology — every process (and every
-    pool worker rebuilding only its shard) computes the same ids.
+    Ids are a pure function of the topology and the id layout — every
+    process (and every pool worker rebuilding only its shard) computes
+    the same ids.
     """
+    first = gateway_id_base(clusters, nodes_stride)
     out: List[Tuple[int, int, int]] = []
     for rank, (a, b) in enumerate(federation_edges(clusters, topology)):
-        base = GATEWAY_ID_BASE + 4 * rank
+        base = first + 4 * rank
         out.append((base, a, b))
         out.append((base + 2, b, a))
     return out
@@ -119,6 +136,7 @@ class GatewayForwarder:
 
     def __init__(self, engine: EngineCore, far: Medium, gateway_id: int,
                  retry_ms: float = 50.0, max_retries: int = 100,
+                 service_ms: float = 0.0,
                  obs: Optional[Observability] = None,
                  on_drop: Optional[Callable[[int, Frame, int], None]] = None):
         self.engine = engine
@@ -126,6 +144,14 @@ class GatewayForwarder:
         self.gateway_id = gateway_id
         self.retry_ms = retry_ms
         self.max_retries = max_retries
+        #: uplink serialisation time per custody frame: 0 (default)
+        #: keeps the legacy infinite-server forwarder — frames re-offer
+        #: the instant they arrive, digest-identical to earlier code.
+        #: >0 models the gateway as a single-server FIFO queue, the
+        #: station the federation capacity model predicts the knee of
+        #: (repro.queueing.federation).
+        self.service_ms = service_ms
+        self._busy_until = 0.0
         self.on_drop = on_drop
         self.up = True
         self._awaiting: Dict[int, int] = {}    # frame_id -> attempts
@@ -135,6 +161,10 @@ class GatewayForwarder:
         self._forwarded = obs.registry.counter(f"{prefix}.frames_forwarded")
         self._retried = obs.registry.counter(f"{prefix}.retries")
         self._dropped = obs.registry.counter(f"{prefix}.frames_dropped")
+        if service_ms > 0.0:
+            self._serviced = obs.registry.counter(f"{prefix}.frames_serviced")
+            self._service_wait = obs.registry.counter(
+                f"{prefix}.service_wait_ms")
         self._scope = obs.scope("gateway")
         self.far_iface = NetworkInterface(
             gateway_id + 1, lambda frame: None,
@@ -156,8 +186,22 @@ class GatewayForwarder:
 
     # ------------------------------------------------------------------
     def accept(self, frame: Frame) -> None:
-        """Take custody of a claimed frame and start forwarding it."""
-        self._forward(frame, 0)
+        """Take custody of a claimed frame and start forwarding it.
+
+        With ``service_ms`` set, custody frames serialise through a
+        single-server FIFO: each transmission starts when the previous
+        one finishes, so offered load beyond ``1000/service_ms``
+        frames/s builds an unbounded backlog — the capacity knee."""
+        if self.service_ms <= 0.0:
+            self._forward(frame, 0)
+            return
+        now = self.engine.now
+        start = self._busy_until if self._busy_until > now else now
+        done = start + self.service_ms
+        self._busy_until = done
+        self._serviced.inc()
+        self._service_wait.inc(done - now - self.service_ms)
+        self.engine.schedule(done - now, self._forward, frame, 0)
 
     def _forward(self, frame: Frame, attempt: int) -> None:
         if not self.up:
@@ -297,6 +341,7 @@ class Gateway:
                  far_nodes: Callable[[int], bool],
                  forward_delay_ms: float = 5.0,
                  retry_ms: float = 50.0, max_retries: int = 100,
+                 service_ms: float = 0.0,
                  gateway_id: Optional[int] = None,
                  near_obs: Optional[Observability] = None,
                  far_obs: Optional[Observability] = None,
@@ -316,7 +361,8 @@ class Gateway:
         self.gateway_id = gateway_id
         self.forwarder: Optional[GatewayForwarder] = GatewayForwarder(
             engine, far, gateway_id, retry_ms=retry_ms,
-            max_retries=max_retries, obs=far_obs or shared, on_drop=on_drop)
+            max_retries=max_retries, service_ms=service_ms,
+            obs=far_obs or shared, on_drop=on_drop)
         self.tap: Optional[GatewayTap] = GatewayTap(
             engine, near, far_nodes,
             _DirectChannel(engine, self.forwarder.accept),
@@ -433,7 +479,8 @@ class ClusterFederation:
                  forward_delays: Optional[Dict[Tuple[int, int], float]] = None,
                  recorder_lps: bool = False,
                  lockstep: bool = False,
-                 batch_ms: Optional[float] = None):
+                 batch_ms: Optional[float] = None,
+                 gateway_service_ms: float = 0.0):
         if not cluster_sizes:
             raise NetworkError("a federation needs at least one cluster")
         count = len(cluster_sizes)
@@ -482,9 +529,16 @@ class ClusterFederation:
         self.recorder_lps = bool(recorder_lps and self.partitions is not None)
         self.lockstep = lockstep
         self.batch_ms = batch_ms
+        self.nodes_stride = nodes_stride
+        self.gateway_service_ms = gateway_service_ms
 
         # Per-cluster configs: copied before the federation assigns the
         # id layout, so caller-owned config objects are never mutated.
+        # Recorder shard ids live at ``first_node_id + 89 + j`` — inside
+        # the cluster's stride block, so they stay globally unique at
+        # any cluster count (the old ``90 + index`` scheme collided with
+        # node ranges beyond ~10 clusters). Cluster 0 keeps id 90.
+        from repro.cluster.placement import RECORDER_ID_OFFSET, policy_from_name
         self.configs: List[SystemConfig] = []
         self._node_sets: List[Set[int]] = []
         for index, size in enumerate(cluster_sizes):
@@ -493,11 +547,28 @@ class ClusterFederation:
             else:
                 config = SystemConfig(nodes=size, publishing=publishing)
             config.first_node_id = 1 + index * nodes_stride
-            config.recorder_node_id = 90 + index
+            config.recorder_node_id = config.first_node_id + RECORDER_ID_OFFSET
             config.services_node = config.first_node_id
+            if config.nodes > RECORDER_ID_OFFSET:
+                raise NetworkError(
+                    f"cluster {index} has {config.nodes} nodes; the id "
+                    f"layout fits at most {RECORDER_ID_OFFSET} per cluster")
+            nodes = set(range(
+                config.first_node_id, config.first_node_id + config.nodes))
+            if config.publishing:
+                policy = policy_from_name(config.placement_policy,
+                                          shards=config.recorder_shards)
+                shard_count = policy.shard_count(config.nodes)
+                if RECORDER_ID_OFFSET + shard_count > nodes_stride:
+                    raise NetworkError(
+                        f"cluster {index}: {shard_count} recorder shards "
+                        f"do not fit in a node stride of {nodes_stride}")
+                # Routable across gateways: a remote cluster can address
+                # this cluster's recorders (cross-cluster recovery).
+                nodes |= set(range(config.recorder_node_id,
+                                   config.recorder_node_id + shard_count))
             self.configs.append(config)
-            self._node_sets.append(set(range(
-                config.first_node_id, config.first_node_id + config.nodes)))
+            self._node_sets.append(nodes)
 
         def lp_of(index: int) -> int:
             return index * lps // count
@@ -545,7 +616,7 @@ class ClusterFederation:
 
         self.gateways: List[Gateway] = []
         self.channels: List[PartitionChannel] = list(self.bridge_channels)
-        for gid, src, dst in directed_gateways(count, topology):
+        for gid, src, dst in directed_gateways(count, topology, nodes_stride):
             src_lp, dst_lp = lp_of(src), lp_of(dst)
             delay = self.forward_delays.get((src, dst), forward_delay_ms)
             far_nodes = (lambda node, _far=self._node_sets[dst]: node in _far)
@@ -556,6 +627,7 @@ class ClusterFederation:
                     self.engines[src_lp], self.systems[src].medium,
                     self.systems[dst].medium, far_nodes,
                     forward_delay_ms=delay, gateway_id=gid,
+                    service_ms=gateway_service_ms,
                     near_obs=self.systems[src].obs,
                     far_obs=self.systems[dst].obs,
                     on_drop=self._note_gateway_drop))
@@ -568,6 +640,7 @@ class ClusterFederation:
             if dst_lp in self.engines:
                 forwarder = GatewayForwarder(
                     self.engines[dst_lp], self.systems[dst].medium, gid,
+                    service_ms=gateway_service_ms,
                     obs=self.systems[dst].obs,
                     on_drop=self._note_gateway_drop)
                 channel.deliver = forwarder.accept
@@ -589,6 +662,13 @@ class ClusterFederation:
     def _note_gateway_drop(self, gateway_id: int, frame: Frame,
                            attempts: int) -> None:
         self.dead_letters.append(DeadLetter(gateway_id, frame, attempts))
+
+    def gateway_edges(self) -> Dict[int, Tuple[int, int]]:
+        """``gateway_id -> (src_cluster, dst_cluster)`` for every
+        directed edge of the topology — including edges whose gateway
+        object lives on a remote slice."""
+        return {gid: (src, dst) for gid, src, dst in directed_gateways(
+            len(self.configs), self.topology, self.nodes_stride)}
 
     @property
     def now(self) -> float:
@@ -638,6 +718,100 @@ class ClusterFederation:
                         f"is outside this federation slice")
                 return system
         raise NetworkError(f"node {node_id} is in no cluster")
+
+    def placements(self) -> List[object]:
+        """Each local cluster's shard map (None for unsharded clusters)."""
+        return [system.placement for system in self.clusters]
+
+    # ------------------------------------------------------------------
+    # cross-cluster recovery (§6.2 autonomous control, sharded)
+    # ------------------------------------------------------------------
+    def neighbours_of(self, cluster_index: int) -> List[int]:
+        """Clusters sharing a gateway edge with ``cluster_index``."""
+        return sorted(
+            b if a == cluster_index else a
+            for a, b in federation_edges(len(self.configs), self.topology)
+            if cluster_index in (a, b))
+
+    def _pick_helper(self, home_index: int) -> int:
+        """The deterministic helper for a cross-cluster recovery: the
+        lowest-indexed gateway neighbour whose primary recorder is up
+        (the primary claims cross-cluster traffic, so it holds the
+        passive replay log a remote recovery replays from)."""
+        for index in self.neighbours_of(home_index):
+            system = self.systems.get(index)
+            if (system is not None and system.recorder is not None
+                    and system.recorder.up):
+                return index
+        raise NetworkError(
+            f"no gateway neighbour of cluster {home_index} has a live "
+            f"recorder to recover from")
+
+    def remote_recover(self, node_id: int,
+                       helper: Optional[int] = None) -> int:
+        """Recover every process on ``node_id`` by replaying from a
+        *remote* cluster's recorder, routed through the gateways.
+
+        The §6.2 escape hatch for a cluster whose own recorder shard is
+        down: a gateway neighbour's primary recorder passively recorded
+        the cross-cluster traffic (its tap claim doubles as the
+        delivery observation), so it holds a replay log for the
+        destination in its own medium's reception order. Process
+        metadata (image, args, links) is copied from the home shard's
+        stable-storage database — the publishing disk survives the
+        recorder crash (§4.5) — while the message log replayed is the
+        helper's own. The helper's recreate/replay/marker controls are
+        ordinary guaranteed traffic and cross the fabric through the
+        store-and-forward gateways.
+
+        Returns how many process recoveries were started.
+        """
+        home = self.cluster_of(node_id)
+        if helper is None:
+            helper = self._pick_helper(home.cluster_index)
+        helper_sys = self.systems.get(helper)
+        if helper_sys is None:
+            raise NetworkError(f"cluster {helper} is outside this slice")
+        recorder = helper_sys.recorder
+        manager = helper_sys.recovery
+        if recorder is None or not recorder.up or manager is None:
+            raise NetworkError(
+                f"cluster {helper} has no live recorder to replay from")
+        # The home shard's database survives on stable storage even
+        # when the recorder process is down (§4.5).
+        if home.placement is not None:
+            home_recorder = home.recorders[
+                home.placement.shard_for(node_id).index]
+        else:
+            home_recorder = home.recorder
+        if home_recorder is None:
+            raise NetworkError(
+                f"cluster {home.cluster_index} has no recorder database "
+                f"to read process metadata from")
+        home.restart_node(node_id)
+        started = 0
+        for record in home_recorder.db.processes_on(node_id):
+            if record.image == "" or record.recovering:
+                continue
+            mine = recorder.db.create(
+                record.pid, node=record.node, image=record.image,
+                args=record.args, initial_links=record.initial_links,
+                recoverable=record.recoverable,
+                state_pages=record.state_pages)
+            if mine.image == "":
+                # Fill a placeholder the helper created from passive
+                # message traffic before any metadata was known.
+                mine.image = record.image
+                mine.args = record.args
+                mine.initial_links = record.initial_links
+                mine.recoverable = record.recoverable
+                mine.state_pages = record.state_pages
+                mine.node = record.node
+            if manager.start_recovery(mine, target_node=node_id):
+                started += 1
+        helper_sys.obs.registry.counter(
+            "recorder.placement.remote_recoveries").inc(started)
+        return started
 
     # ------------------------------------------------------------------
     # the merged observability spine

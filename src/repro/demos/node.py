@@ -122,11 +122,20 @@ class Node:
     def _on_gossip_pull(self, control: Control, src_node: int) -> None:
         """Epidemic pull backup: supply any requested message this
         node's bounded buffer still holds. Supplies are unguaranteed —
-        the recorder's next round retries whatever is still missing."""
+        the recorder's next round retries whatever is still missing.
+        Requests arrive as per-sender ``[lo, hi)`` sequence ranges
+        (``gossip.pull_ranges``); the explicit-id ``wanted`` list is
+        kept for compatibility with pre-range pull senders."""
         buffer = self.gossip_buffer
         if buffer is None:
             return
-        for sender, seq in control["wanted"]:
+        ranges = control.get("ranges")
+        if ranges is not None:
+            wanted = ((sender, seq) for sender, lo, hi in ranges
+                      for seq in range(lo, hi))
+        else:
+            wanted = control["wanted"]
+        for sender, seq in wanted:
             msg_id = MessageId(ProcessId(*sender), seq)
             message = buffer.get(msg_id)
             if message is not None:

@@ -68,3 +68,8 @@ class TransactionError(ReproError):
 
 class QueueingModelError(ReproError):
     """The queuing model was configured with parameters it cannot solve."""
+
+
+class PlacementError(ReproError):
+    """A recorder placement was configured incoherently (overlapping
+    ranges, recorder ids colliding with node ids, zero-node clusters)."""

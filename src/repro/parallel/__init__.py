@@ -41,6 +41,7 @@ from repro.parallel.sweeps import (
     SWEEP_BUILDERS,
     capacity_tasks,
     chaos_matrix_tasks,
+    federation_tasks,
     figure57_tasks,
     perf_tasks,
     run_sweep,
@@ -60,6 +61,7 @@ __all__ = [
     "digest_of",
     "equivalence_report",
     "federation_digest",
+    "federation_tasks",
     "run_pooled",
     "run_serial",
     "run_staged",

@@ -102,6 +102,7 @@ class DesScenario:
 
     clusters: int = 4
     cluster_size: int = 1
+    recorder_shards: int = 1
     messages: int = 6
     duration_ms: float = 3000.0
     settle_ms: float = 500.0
@@ -128,6 +129,12 @@ class DesScenario:
             raise ReproError(
                 "lockstep windows need every lookahead positive; "
                 "recorder bridges are zero-lookahead channels")
+        if self.recorder_shards < 1:
+            raise ReproError("recorder_shards must be >= 1")
+        if self.recorder_shards > 1 and self.recorder_lps:
+            raise ReproError(
+                "recorder shards live on the cluster engine; they are "
+                "mutually exclusive with a dedicated recorder LP")
         if self.batch_ms is not None and self.batch_ms <= 0:
             raise ReproError("batch_ms must be positive when set")
 
@@ -185,7 +192,8 @@ def build_federation(scenario: DesScenario,
                      only_partition: Optional[int] = None) -> ClusterFederation:
     scenario.validate()
     configs = [SystemConfig(nodes=scenario.cluster_size,
-                            master_seed=scenario.master_seed)
+                            master_seed=scenario.master_seed,
+                            recorder_shards=scenario.recorder_shards)
                for _ in range(scenario.clusters)]
     fed = ClusterFederation(
         [scenario.cluster_size] * scenario.clusters,
@@ -713,6 +721,7 @@ def equivalence_report(scenario: DesScenario,
         "scenario": {
             "clusters": scenario.clusters,
             "cluster_size": scenario.cluster_size,
+            "recorder_shards": scenario.recorder_shards,
             "messages": scenario.messages,
             "duration_ms": scenario.duration_ms,
             "topology": scenario.topology,

@@ -97,6 +97,22 @@ def perf_tasks(names: Optional[Sequence[str]] = None, seed: int = 1983,
             for name in chosen]
 
 
+def federation_tasks(cluster_counts: Sequence[int] = (4, 8, 16),
+                     cluster_size: int = 2, recorder_shards: int = 2,
+                     topology: str = "ring", messages: int = 4,
+                     duration_ms: float = 2500.0,
+                     seed: int = 1983) -> List[ShardTask]:
+    """One federation cell per cluster count — the scaling axis of the
+    ``federation_scaling`` workload, runnable as an ordinary sweep."""
+    return [make_task("federation",
+                      f"federation/{topology}/c{count:03d}",
+                      clusters=count, cluster_size=cluster_size,
+                      recorder_shards=recorder_shards, topology=topology,
+                      messages=messages, duration_ms=duration_ms,
+                      seed=seed)
+            for count in sorted(cluster_counts)]
+
+
 #: sweep kind -> builder(**kwargs) -> tasks
 SWEEP_BUILDERS = {
     "chaos": chaos_matrix_tasks,
@@ -104,6 +120,7 @@ SWEEP_BUILDERS = {
     "utilization": utilization_tasks,
     "figure57": figure57_tasks,
     "perf": perf_tasks,
+    "federation": federation_tasks,
 }
 
 

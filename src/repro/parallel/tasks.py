@@ -108,6 +108,39 @@ def run_figure57_shard(params: Dict[str, Any]) -> _Result:
     return payload, {"wall_ms": round(wall_ms, 3)}
 
 
+def run_federation_shard(params: Dict[str, Any]) -> _Result:
+    """One federation cell: a sharded-recorder DES scenario run on the
+    single-engine reference path. The payload is the cell's federation
+    digest plus its workload outcome, so a sweep over cluster counts is
+    digest-gated exactly like the :mod:`repro.parallel.des` modes."""
+    from repro.parallel.des import DesScenario, run_serial
+
+    scenario = DesScenario(
+        clusters=params["clusters"],
+        cluster_size=params.get("cluster_size", 1),
+        recorder_shards=params.get("recorder_shards", 1),
+        messages=params.get("messages", 6),
+        duration_ms=params.get("duration_ms", 3000.0),
+        topology=params.get("topology", "ring"),
+        forward_delay_ms=params.get("forward_delay_ms", 5.0),
+        master_seed=params.get("seed", 1983))
+    result = run_serial(scenario)
+    payload = {
+        "clusters": result["clusters"],
+        "topology": scenario.topology,
+        "recorder_shards": scenario.recorder_shards,
+        "digest": result["digest"],
+        "per_cluster": result["per_cluster"],
+        "replies": result["replies"],
+        "totals": result["totals"],
+        "expected_total": result["expected_total"],
+        "workload_ok": result["workload_ok"],
+        "frames_forwarded": result["frames_forwarded"],
+        "dead_letters": result["dead_letters"],
+    }
+    return payload, {"wall_ms": round(result["wall_ms"], 3)}
+
+
 #: result keys that vary run-to-run (wall clock and derivatives) — the
 #: same set ``tests/test_perf_harness.py`` strips for its determinism
 #: check.
@@ -137,4 +170,5 @@ TASK_KINDS: Dict[str, Callable[[Dict[str, Any]], _Result]] = {
     "utilization": run_utilization_shard,
     "figure57": run_figure57_shard,
     "perf": run_perf_shard,
+    "federation": run_federation_shard,
 }

@@ -1149,6 +1149,142 @@ def adversary_quorum(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# planet-scale federation (cluster.placement + queueing.federation)
+# ----------------------------------------------------------------------
+
+#: federation_scaling knobs:
+#: (cluster counts, cluster_size, recorder_shards, messages, duration_ms)
+_FEDERATION_FULL = ((4, 16, 32, 64, 100), 2, 2, 3, 2000.0)
+#: smoke still climbs to 64 clusters: the committed curve must keep
+#: >=3 cells with the largest federation at planet scale (ISSUE 10)
+_FEDERATION_SMOKE = ((4, 16, 64), 2, 2, 3, 2000.0)
+
+#: the gateway station's uplink serialisation time for the capacity
+#: section, and the probe grid around its modeled knee (fractions of
+#: 1000/service_ms — dense enough that the measured knee lands within
+#: ~10% of the model)
+_FEDERATION_SERVICE_MS = 2.0
+_FEDERATION_PROBE_FRACTIONS = (0.6, 0.8, 0.95, 1.05, 1.1, 1.25, 1.5)
+
+
+def federation_scaling(seed: int, smoke: bool) -> Dict[str, Any]:
+    """The 100-cluster scaling curve with sharded recorder placement.
+
+    Each cell is one ring federation of two-node clusters, every
+    cluster's recorder split into two claim-filtered shards
+    (``cluster.placement``), run three ways: the single-engine serial
+    reference, the same scenario as an independent shard through the
+    :mod:`repro.parallel` sweep runner (a separate OS process — the
+    cross-process determinism check), and the promise-sync pooled
+    parallel DES. All three must produce byte-identical federation
+    digests, so a scaling figure can never describe divergent runs.
+
+    The capacity section pairs the federation-level queueing model
+    (:class:`~repro.queueing.federation.FederationCapacityModel`) with a
+    measurement: the modeled user-capacity knee and saturating station
+    per topology, and the gateway station's modeled saturation rate
+    against a *driven* :class:`~repro.cluster.gateways.Gateway`'s
+    measured knee, with the relative error recorded per topology.
+    """
+    from repro.parallel import federation_tasks, run_tasks
+    from repro.parallel.des import DesScenario, run_pooled, run_serial
+    from repro.parallel.runner import canonical_json
+    from repro.queueing import OPERATING_POINTS
+    from repro.queueing.federation import (
+        FederationCapacityModel,
+        FederationShape,
+        measure_gateway_knee,
+        modeled_gateway_knee_per_s,
+    )
+
+    counts, cluster_size, shards, messages, duration_ms = (
+        _FEDERATION_SMOKE if smoke else _FEDERATION_FULL)
+    grid: Dict[str, Any] = {}
+    digests: Dict[str, str] = {}
+    ops = 0
+    events = 0
+    wall_ms = 0.0
+    for clusters in counts:
+        scenario = DesScenario(clusters=clusters, cluster_size=cluster_size,
+                               recorder_shards=shards, messages=messages,
+                               duration_ms=duration_ms, master_seed=seed)
+        serial = run_serial(scenario)
+        if not serial["workload_ok"]:
+            raise PerfDivergence(
+                f"federation_scaling[{clusters}]: serial workload incomplete")
+        tasks = federation_tasks(cluster_counts=(clusters,),
+                                 cluster_size=cluster_size,
+                                 recorder_shards=shards, messages=messages,
+                                 duration_ms=duration_ms, seed=seed)
+        shard = run_tasks(tasks, max_workers=2)[0]
+        if shard["payload"]["digest"] != serial["digest"]:
+            raise PerfDivergence(
+                f"federation_scaling[{clusters}]: sweep-runner digest "
+                f"diverged from serial ({shard['payload']['digest'][:12]} "
+                f"!= {serial['digest'][:12]})")
+        pooled = run_pooled(scenario, workers=2)
+        if pooled["digest"] != serial["digest"]:
+            raise PerfDivergence(
+                f"federation_scaling[{clusters}]: pooled digest diverged "
+                f"from serial ({pooled['digest'][:12]} != "
+                f"{serial['digest'][:12]})")
+        if not pooled["workload_ok"]:
+            raise PerfDivergence(
+                f"federation_scaling[{clusters}]: pooled workload incomplete")
+        ops += clusters * messages
+        events += serial["frames_forwarded"]
+        wall_ms += serial["wall_ms"] + pooled["wall_ms"]
+        digests[str(clusters)] = serial["digest"]
+        grid[str(clusters)] = {
+            "nodes": clusters * cluster_size,
+            "recorder_shards": shards,
+            "frames_forwarded": serial["frames_forwarded"],
+            "dead_letters": serial["dead_letters"],
+            "serial_wall_ms": round(serial["wall_ms"], 3),
+            "pooled_wall_ms": round(pooled["wall_ms"], 3),
+            "pooled_barriers": pooled["barriers"],
+            "digest": serial["digest"][:16],
+        }
+    # -- capacity section: modeled knee per topology vs a driven gateway
+    modeled_rate = modeled_gateway_knee_per_s(_FEDERATION_SERVICE_MS)
+    gateway = measure_gateway_knee(
+        _FEDERATION_SERVICE_MS,
+        rates_per_s=tuple(round(modeled_rate * f, 1)
+                          for f in _FEDERATION_PROBE_FRACTIONS))
+    capacity: Dict[str, Any] = {}
+    for topology in ("ring", "mesh"):
+        shape = FederationShape(clusters=max(counts), topology=topology,
+                                recorder_shards=shards,
+                                gateway_service_ms=_FEDERATION_SERVICE_MS)
+        model = FederationCapacityModel(OPERATING_POINTS["mean"], shape)
+        capacity[topology] = {
+            "model": model.knee_report(),
+            "measured_gateway_knee_per_s": gateway["measured_knee_per_s"],
+            "modeled_gateway_knee_per_s": gateway["modeled_knee_per_s"],
+            "relative_error": gateway.get("relative_error"),
+        }
+    event_digest = hashlib.sha256(
+        canonical_json(digests).encode()).hexdigest()
+    return {
+        "ops": ops,
+        "events": events,
+        "sim_ms": round(500.0 + duration_ms, 6),
+        "wall_ms": round(wall_ms, 6),
+        # wall_ms sums many short federation builds across process
+        # boundaries — spawn latency and load jitter dominate, so the
+        # gates are the three-way digest equality per cell and the
+        # exact event_digest pin, not the generic ops/sec tolerance
+        # (same reasoning as des_scaling).
+        "throughput_gated": False,
+        "largest_federation": max(counts),
+        "grid": grid,
+        "capacity": capacity,
+        "gateway_probes": gateway["probes"],
+        "event_digest": event_digest,
+    }
+
+
 #: name -> workload function, in canonical report order
 WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "engine_churn": engine_churn,
@@ -1163,4 +1299,5 @@ WORKLOADS: Dict[str, Callable[[int, bool], Dict[str, Any]]] = {
     "des_scaling": des_scaling,
     "gossip_repair": gossip_repair,
     "adversary_quorum": adversary_quorum,
+    "federation_scaling": federation_scaling,
 }

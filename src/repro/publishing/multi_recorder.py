@@ -48,6 +48,17 @@ class PriorityVectors:
 
     vectors: Dict[int, List[int]] = field(default_factory=dict)
 
+    @classmethod
+    def from_placement(cls, placement) -> "PriorityVectors":
+        """V_i derived from a sharded-recorder placement
+        (:class:`repro.cluster.placement.ClusterPlacement`): each node
+        ranks its owning shard first, then the remaining shards in
+        index order — so a crashed shard's nodes fail over to the
+        next shard of the same cluster before anything leaves it."""
+        from repro.cluster.placement import placement_priority_vectors
+
+        return placement_priority_vectors(placement)
+
     def for_node(self, node_id: int) -> List[int]:
         try:
             return self.vectors[node_id]

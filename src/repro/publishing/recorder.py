@@ -137,6 +137,11 @@ class Recorder:
         #: the record path feeds the coordinator's gap tracker and
         #: gossip supplies are applied through :meth:`record_repair`.
         self.gossip = None
+        #: sharded-placement claim predicate (cluster.placement): maps a
+        #: destination node id to whether this recorder stores records
+        #: for it. None claims everything — the single-recorder §3.3
+        #: behaviour, byte-identical to the pre-sharding code path.
+        self.claim: Optional[Callable[[int], bool]] = None
         #: adversarial interception seam (chaos.adversary): when set,
         #: every confirmed delivery routes through the stage pipeline,
         #: which may drop, reorder, duplicate, or corrupt what this
@@ -203,6 +208,11 @@ class Recorder:
             self._seen_control_uids[key] = None
             while len(self._seen_control_uids) > 8192:
                 self._seen_control_uids.popitem(last=False)
+            if self.claim is not None and \
+                    not self.claim(ProcessId(*body["pid"]).node):
+                # Sharded placement: database notices for processes in
+                # another shard's range are that shard's to absorb.
+                return
             handler = self._control_handlers.get(body.kind)
             if handler is not None:
                 handler(body, frame.src_node)
@@ -217,6 +227,11 @@ class Recorder:
             sender.note_sent(message.msg_id.seq)
         if self.gossip is not None:
             self.gossip.note_recorded(message)
+        if self.claim is not None and not self.claim(message.dst.node):
+            # Another shard of this cluster owns the destination's
+            # range; the send-sequence note above stays global so the
+            # sender's owning shard tracks suppression horizons.
+            return
         record = self.db.get(message.dst)
         if record is None:
             # Message overheard before (or without) a creation notice —
@@ -256,6 +271,15 @@ class Recorder:
         logged record, or None when it was filtered or a duplicate.
         ``forced`` bypasses duplicate suppression (Byzantine
         double-logging)."""
+        if self.claim is not None and not self.claim(message.dst.node):
+            # Not this shard's destination — but the delivery still
+            # confirms the *sender's* send, and the sender's record may
+            # live here; the confirmed prefix is the send-suppression
+            # horizon and must advance on every shard that tracks it.
+            sender = self.db.get(message.src)
+            if sender is not None:
+                sender.note_send_confirmed(message.msg_id.seq)
+            return None
         record = self.db.get(message.dst)
         if record is None or (self.config.selective and not record.recoverable):
             return None
@@ -301,6 +325,8 @@ class Recorder:
         sender = self.db.get(message.src)
         if sender is not None:
             sender.note_sent(message.msg_id.seq)
+        if self.claim is not None and not self.claim(message.dst.node):
+            return False
         record = self.db.get(message.dst)
         if record is None:
             record = self.db.create(message.dst, node=message.dst.node,

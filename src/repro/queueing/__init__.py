@@ -28,6 +28,12 @@ from repro.queueing.capacity import (
     capacity_in_nodes,
     storage_requirement_bytes,
 )
+from repro.queueing.federation import (
+    FederationCapacityModel,
+    FederationShape,
+    measure_gateway_knee,
+    modeled_gateway_knee_per_s,
+)
 
 __all__ = [
     "HardwareParams",
@@ -45,4 +51,8 @@ __all__ = [
     "capacity_in_users",
     "capacity_in_nodes",
     "storage_requirement_bytes",
+    "FederationCapacityModel",
+    "FederationShape",
+    "measure_gateway_knee",
+    "modeled_gateway_knee_per_s",
 ]

@@ -74,6 +74,15 @@ class SystemConfig:
     publishing: bool = True
     medium: str = "broadcast"
     recorder_node_id: int = 99
+    #: recorder shards (cluster.placement): 1 keeps the single §3.3
+    #: recorder, byte-identical to the pre-sharding behaviour; >1
+    #: splits the node range into contiguous slices, one claim-filtered
+    #: recorder + recovery manager per slice, with shard j attached at
+    #: ``recorder_node_id + j``
+    recorder_shards: int = 1
+    #: shard layout policy: "range" (fixed shard count) or "balanced"
+    #: (shard count grows with the node count; see cluster.placement)
+    placement_policy: str = "range"
     master_seed: int = 1983
     costs: CostModel = field(default_factory=CostModel)
     publish_path: str = "media_tap"
@@ -198,6 +207,13 @@ class System:
         self._partitions: List[object] = []
         self.recorder: Optional[Recorder] = None
         self.recovery: Optional[RecoveryManager] = None
+        #: sharded placement (cluster.placement): the shard map plus
+        #: one recorder / recovery manager per shard. With one shard,
+        #: the lists alias [self.recorder] / [self.recovery] and
+        #: ``placement`` stays None — no new metrics, no new ids.
+        self.placement = None
+        self.recorders: List[Recorder] = []
+        self.recoveries: List[RecoveryManager] = []
         #: medium<->recorder bridge channels when the recorder has its
         #: own LP (a federation renumbers their src/dst into its LP
         #: space); empty otherwise
@@ -212,16 +228,16 @@ class System:
             self.nodes[node_id] = self._build_node(node_id)
         if self.config.services_node not in self.nodes:
             self.config.services_node = first
-        if self.recovery is not None:
+        for recovery in self.recoveries:
             if self.bridge is not None:
                 # The restarter schedules medium-side work; when the
                 # recovery manager runs on the recorder LP the call
                 # crosses the cut at its exact claim time.
-                self.recovery.node_restarter = (
+                recovery.node_restarter = (
                     lambda node_id: self.bridge.defer_to_medium(
                         self._restart_node_later, node_id))
             else:
-                self.recovery.node_restarter = self._restart_node_later
+                recovery.node_restarter = self._restart_node_later
         #: epidemic repair layer (publishing.gossip) — built only when
         #: enabled, so legacy configurations register no gossip metrics
         #: and draw from no gossip RNG streams
@@ -269,10 +285,10 @@ class System:
             return TokenRing(self.engine, **kwargs)
         raise ReproError(f"unknown medium {cfg.medium!r}; choose from {MEDIA}")
 
-    def _build_recorder(self) -> None:
+    def _recorder_config(self, node_id: int) -> RecorderConfig:
         cfg = self.config
-        recorder_config = RecorderConfig(
-            node_id=cfg.recorder_node_id,
+        return RecorderConfig(
+            node_id=node_id,
             publish_path=cfg.publish_path,
             disks=cfg.disks,
             buffered_writes=cfg.buffered_writes,
@@ -285,6 +301,13 @@ class System:
                 max_retries=cfg.transport_max_retries,
                 per_destination=True, window=1),
         )
+
+    def _build_recorder(self) -> None:
+        cfg = self.config
+        if cfg.recorder_shards > 1:
+            self._build_recorder_shards()
+            return
+        recorder_config = self._recorder_config(cfg.recorder_node_id)
         recorder_engine = self.recorder_engine
         if recorder_engine is not None:
             from repro.publishing.recorder_lp import RecorderMediumBridge
@@ -303,6 +326,64 @@ class System:
             ping_interval_ms=cfg.watchdog_ping_ms,
             watchdog_timeout_ms=cfg.watchdog_timeout_ms,
         )
+        self.recorders = [self.recorder]
+        self.recoveries = [self.recovery]
+
+    def _build_recorder_shards(self) -> None:
+        """Sharded placement: several claim-filtered recorders split the
+        node range (cluster.placement), each with its own recovery
+        manager watching only its slice. Shard 0 is the primary — it
+        additionally claims cross-cluster traffic and receives the
+        kernels' crash reports, which it dispatches to the owning
+        shard's manager."""
+        cfg = self.config
+        if self.recorder_engine is not None:
+            raise ReproError(
+                "recorder shards and a recorder LP are mutually "
+                "exclusive (shards attach to the cluster medium)")
+        if cfg.gossip:
+            raise ReproError(
+                "recorder shards and gossip repair are mutually "
+                "exclusive (the gossip coordinator assumes one recorder)")
+        from repro.cluster.placement import policy_from_name
+        policy = policy_from_name(cfg.placement_policy,
+                                  shards=cfg.recorder_shards)
+        self.placement = policy.place(
+            cluster_index=self.cluster_index or 0,
+            first_node_id=cfg.first_node_id, nodes=cfg.nodes,
+            recorder_base=cfg.recorder_node_id)
+        for shard in self.placement.shards:
+            recorder = Recorder(self.engine, self.medium,
+                                self._recorder_config(shard.node_id),
+                                obs=self.obs, rng=self.rng)
+            recorder.claim = self.placement.claim_of(shard.index)
+            manager = RecoveryManager(
+                self.engine, recorder,
+                node_ids=list(range(shard.lo, shard.hi)),
+                ping_interval_ms=cfg.watchdog_ping_ms,
+                watchdog_timeout_ms=cfg.watchdog_timeout_ms,
+            )
+            self.recorders.append(recorder)
+            self.recoveries.append(manager)
+        self.recorder = self.recorders[0]
+        self.recovery = self.recoveries[0]
+        # Kernels address crash reports to the primary shard's node id;
+        # route each to the manager owning the crashed pid's range.
+        placement = self.placement
+
+        def _route_process_crashed(control, src_node: int) -> None:
+            pid = ProcessId(*control["pid"])
+            shard = placement.shard_for(pid.node)
+            self.recoveries[shard.index]._on_process_crashed(
+                control, src_node)
+        self.recorder.on_control("process_crashed", _route_process_crashed)
+        registry = self.obs.registry
+        registry.gauge_fn("recorder.placement.shards",
+                          lambda: len(self.recorders))
+        for shard in self.placement.shards:
+            registry.gauge_fn(
+                f"recorder.placement.shard.{shard.node_id}.nodes",
+                lambda _s=shard: _s.width)
 
     def _build_node(self, node_id: int) -> Node:
         cfg = self.config
@@ -416,8 +497,8 @@ class System:
         for node_id, node in self.nodes.items():
             specs = services_specs if node_id == cfg.services_node else ()
             node.boot(boot_specs=specs, nls_pid=nls_pid)
-        if self.recovery is not None:
-            self.recovery.start()
+        for recovery in self.recoveries:
+            recovery.start()
         if cfg.checkpoint_policy is not None:
             self.install_checkpoint_policy(cfg.checkpoint_policy)
         if settle_ms > 0:
@@ -614,29 +695,30 @@ class System:
         self.recorder.disks.set_slowdown(factor)
         self.trace.emit("disk_slowdown", "recorder", factor=factor)
 
-    def crash_recorder(self) -> None:
-        """Fail the recorder; all published traffic suspends."""
-        if self.recorder is None:
+    def crash_recorder(self, shard: int = 0) -> None:
+        """Fail the recorder (or one shard of it); published traffic to
+        its claimed range suspends while sibling shards keep acking."""
+        if not self.recorders:
             raise ReproError("this system has no recorder")
         if self.recorder_engine is not None:
             raise ReproError(
                 "recorder crash/restart is not supported with a "
                 "recorder LP; use the serial engine for recorder-fault "
                 "scenarios")
-        self.recorder.crash()
-        if self.recovery is not None:
-            self.recovery.stop()
+        self.recorders[shard].crash()
+        self.recoveries[shard].stop()
 
-    def restart_recorder(self) -> int:
-        """Restart the recorder and run the §3.3.4 reconciliation."""
-        if self.recovery is None:
+    def restart_recorder(self, shard: int = 0) -> int:
+        """Restart the recorder (or one shard of it) and run the §3.3.4
+        reconciliation."""
+        if not self.recoveries:
             raise ReproError("this system has no recorder")
         if self.recorder_engine is not None:
             raise ReproError(
                 "recorder crash/restart is not supported with a "
                 "recorder LP; use the serial engine for recorder-fault "
                 "scenarios")
-        return self.recovery.restart_recorder()
+        return self.recoveries[shard].restart_recorder()
 
 
 def pid_node(pid: ProcessId, system: System) -> int:

@@ -206,7 +206,9 @@ class TestFederationConfigs:
         assert [asdict(c) for c in configs] == before
         assert fed.configs[0] is not configs[0]
         assert fed.configs[1].first_node_id == 101
-        assert fed.configs[1].recorder_node_id == 91
+        # Recorder ids live inside the cluster's stride block
+        # (first + 89), so they stay unique at any cluster count.
+        assert fed.configs[1].recorder_node_id == 190
 
     def test_config_length_mismatch_raises(self):
         from repro.system import SystemConfig
